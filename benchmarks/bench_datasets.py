@@ -1,0 +1,64 @@
+"""Workload generation: the paper's INDELible-equivalent datasets.
+
+Benchmarks the simulator that produces the Table III alignments (15
+taxa, 10K-4,000K sites) and sanity-checks the generated data's
+statistical shape.  The two smallest paper sizes are generated for real;
+the full 4M-site alignment is exercised through the same code path at
+reduced width by the test suite (generation is linear in sites).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.datasets import PAPER_N_TAXA, paper_dataset
+from repro.phylo import alignment_stats
+
+
+@pytest.mark.parametrize("n_sites", [10_000, 100_000])
+def test_generate_paper_dataset(benchmark, n_sites):
+    sim = benchmark.pedantic(
+        paper_dataset, args=(n_sites,), rounds=1, iterations=1
+    )
+    assert sim.alignment.n_taxa == PAPER_N_TAXA
+    assert sim.alignment.n_sites == n_sites
+    # the simulated data must carry phylogenetic signal: more unique
+    # patterns than taxa, but far fewer than a random matrix would have
+    pat = sim.alignment.compress()
+    assert PAPER_N_TAXA < pat.n_patterns <= n_sites
+
+
+def test_dataset_statistics(benchmark):
+    sim = paper_dataset(20_000)
+    stats = benchmark(alignment_stats, sim.alignment)
+    # GTR+Gamma data: composition near the generating frequencies
+    assert stats.base_composition["A"] == pytest.approx(0.3, abs=0.05)
+    assert stats.base_composition["C"] == pytest.approx(0.2, abs=0.05)
+    # Gamma rate variation leaves a visible constant-site fraction
+    assert 0.02 < stats.constant_fraction < 0.6
+    assert stats.informative_fraction > 0.2
+
+
+def test_trace_scaling_assumption(benchmark):
+    """The trace-driven design's premise: the kernel mix of a search is
+    insensitive to alignment width (calls stay within a small factor
+    while sites change 3x)."""
+    from repro.perf.trace import trace_from_search
+    from repro.search import SearchConfig, ml_search
+    from repro.phylo import simulate_dataset
+
+    def traces():
+        out = []
+        for sites in (150, 450):
+            sim = simulate_dataset(n_taxa=8, n_sites=sites, seed=500)
+            res = ml_search(
+                sim.alignment,
+                config=SearchConfig(radii=(3,), max_spr_rounds=3,
+                                    optimize_exchangeabilities=False),
+            )
+            out.append(trace_from_search(res))
+        return out
+
+    small, large = benchmark.pedantic(traces, rounds=1, iterations=1)
+    for kernel in ("newview", "derivative_core"):
+        ratio = large.calls[kernel] / max(1, small.calls[kernel])
+        assert 0.3 < ratio < 3.0, (kernel, ratio)

@@ -1,0 +1,30 @@
+"""E6 — Figure 5: relative energy savings vs the CPU baseline."""
+
+import pytest
+
+from repro.harness.figure5 import compute_figure5, paper_figure5
+from repro.harness.paper_values import DATASET_SIZES
+
+
+def test_figure5_regeneration(benchmark):
+    savings = benchmark(compute_figure5)
+    sizes = list(DATASET_SIZES)
+    one = savings["1S Xeon Phi 5110P"]
+    two = savings["2S Xeon Phi 5110P"]
+
+    # 1 MIC becomes more energy-efficient around 100K sites...
+    assert one[sizes.index(50_000)] < 1.0
+    assert one[sizes.index(250_000)] > 1.0
+    # ...and saves ~2.3x on the largest datasets.
+    assert one[-1] == pytest.approx(2.3, abs=0.25)
+
+    # Adding a second card reduces energy efficiency at every size...
+    assert all(t < o for t, o in zip(two, one))
+    # ...but the dual-MIC setup still beats the CPUs above 500K sites.
+    assert two[sizes.index(1_000_000)] > 1.0
+
+    # Each MIC point within 35% of the value implied by the paper's data.
+    paper = paper_figure5()
+    for name in ("1S Xeon Phi 5110P", "2S Xeon Phi 5110P"):
+        for model, pub in zip(savings[name], paper[name]):
+            assert model == pytest.approx(pub, rel=0.35), name

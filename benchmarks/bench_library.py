@@ -1,0 +1,100 @@
+"""Library-level benchmarks: real (Python) throughput of the NumPy
+reference kernels and of the end-to-end search.
+
+These do not reproduce a paper artefact; they track the performance of
+*this* library's hot paths so regressions in the reference
+implementation are visible (the role pytest-benchmark usually plays in
+an open-source numerical project).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LikelihoodEngine
+from repro.core import kernels as ref
+from repro.phylo import GammaRates, gtr, simulate_dataset
+from repro.search import SearchConfig, ml_search, optimize_all_branches
+
+
+@pytest.fixture(scope="module")
+def big_clas():
+    rng = np.random.default_rng(7)
+    n = 20_000
+    zl = rng.uniform(0.1, 1.0, size=(n, 4, 4))
+    zr = rng.uniform(0.1, 1.0, size=(n, 4, 4))
+    model = gtr()
+    gamma = GammaRates(0.8, 4)
+    return model.eigen(), gamma, zl, zr
+
+
+def test_reference_newview_throughput(benchmark, big_clas):
+    eigen, gamma, zl, zr = big_clas
+    a1 = ref.branch_matrices(eigen, gamma.rates, 0.2)
+    a2 = ref.branch_matrices(eigen, gamma.rates, 0.4)
+    zeros = np.zeros(zl.shape[0], dtype=np.int64)
+    out, _ = benchmark(
+        ref.newview_inner_inner, eigen.u_inv, a1, a2, zl, zr, zeros, zeros
+    )
+    assert out.shape == zl.shape
+
+
+def test_reference_evaluate_throughput(benchmark, big_clas):
+    eigen, gamma, zl, zr = big_clas
+    exps = ref.branch_exponentials(eigen, gamma.rates, 0.3)
+    w = np.ones(zl.shape[0])
+    zeros = np.zeros(zl.shape[0], dtype=np.int64)
+    lnl = benchmark(
+        ref.evaluate_edge, zl, zr, exps, gamma.weights, w, zeros
+    )
+    assert np.isfinite(lnl)
+
+
+def test_reference_derivative_kernels_throughput(benchmark, big_clas):
+    eigen, gamma, zl, zr = big_clas
+    w = np.ones(zl.shape[0])
+
+    def both():
+        sumbuf = ref.derivative_sum(zl, zr)
+        return ref.derivative_core(
+            sumbuf, eigen.eigenvalues, gamma.rates, gamma.weights, 0.3, w
+        )
+
+    lnl, d1, d2 = benchmark(both)
+    assert np.isfinite(d1) and np.isfinite(d2)
+
+
+def test_full_likelihood_evaluation(benchmark):
+    sim = simulate_dataset(n_taxa=15, n_sites=2000, seed=3)
+    engine = LikelihoodEngine(
+        sim.alignment.compress(), sim.tree, gtr(), GammaRates(1.0, 4)
+    )
+
+    def fresh_eval():
+        engine.drop_caches()
+        return engine.log_likelihood()
+
+    lnl = benchmark(fresh_eval)
+    assert lnl < 0
+
+
+def test_branch_optimization(benchmark):
+    sim = simulate_dataset(n_taxa=10, n_sites=1000, seed=4)
+    engine = LikelihoodEngine(
+        sim.alignment.compress(), sim.tree, gtr(), GammaRates(1.0, 4)
+    )
+    result = benchmark(optimize_all_branches, engine, 1)
+    assert np.isfinite(result)
+
+
+def test_small_tree_search(benchmark):
+    sim = simulate_dataset(n_taxa=7, n_sites=300, seed=5)
+
+    def search():
+        return ml_search(
+            sim.alignment,
+            config=SearchConfig(radii=(3,), max_spr_rounds=2,
+                                optimize_exchangeabilities=False),
+        )
+
+    res = benchmark.pedantic(search, rounds=1, iterations=1)
+    assert res.lnl < 0

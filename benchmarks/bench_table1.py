@@ -1,0 +1,18 @@
+"""E1 — Table I: platform specification sheet."""
+
+import pytest
+
+from repro.harness.table1 import baseline_premiums, render_table1, table1_rows
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(render_table1)
+    assert "1S Xeon Phi 5110P" in text
+    assert len(table1_rows()) == 5
+
+
+def test_table1_baseline_premiums(benchmark):
+    prem = benchmark(baseline_premiums)
+    # the paper's Sec. VI-A1 claims: ~30% price, ~15% TDP premium
+    assert prem["price_premium"] == pytest.approx(0.30, abs=0.05)
+    assert prem["tdp_premium"] == pytest.approx(0.15, abs=0.03)

@@ -1,0 +1,37 @@
+"""E4 — Table III: ExaML execution times and speedups across systems."""
+
+import pytest
+
+from repro.harness.paper_values import DATASET_SIZES
+from repro.harness.table3 import compute_table3
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark(compute_table3)
+    by_name = {r.system: r for r in rows}
+
+    # Baseline row is unity by construction.
+    for s in by_name["2S Xeon E5-2680"].speedups:
+        assert s == pytest.approx(1.0)
+
+    mic1 = by_name["1S Xeon Phi 5110P"]
+    mic2 = by_name["2S Xeon Phi 5110P"]
+    sizes = list(DATASET_SIZES)
+
+    # Shape: CPU wins at 10K, MIC crosses over near 100K, stabilises ~2x.
+    assert mic1.speedups[sizes.index(10_000)] < 0.5
+    assert 0.9 < mic1.speedups[sizes.index(100_000)] < 1.3
+    assert 1.9 < mic1.speedups[sizes.index(4_000_000)] < 2.2
+
+    # Dual MIC: worst at 10K, best at 4000K, approaching ~3.7-4x.
+    assert mic2.speedups[sizes.index(10_000)] < mic1.speedups[sizes.index(10_000)] + 0.05
+    assert 3.4 < mic2.speedups[sizes.index(4_000_000)] < 4.2
+
+    # Every model point within 35% of the paper's measurement.
+    for row in rows:
+        for model, paper in zip(row.speedups, row.paper_speedups):
+            assert model == pytest.approx(paper, rel=0.35), row.system
+
+    # Speedup grows monotonically with alignment size for both MIC rows.
+    for row in (mic1, mic2):
+        assert all(b > a for a, b in zip(row.speedups, row.speedups[1:]))

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's artefacts under pytest-benchmark
+timing; each module asserts the reproduced *shape* (who wins, by what
+factor, where crossovers fall) against the paper's published values.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phylo import GammaRates, gtr
+
+
+@pytest.fixture(scope="session")
+def kernel_problem():
+    """Random CLA pair + model used by the kernel benchmarks."""
+    rng = np.random.default_rng(1234)
+    n_sites = 64
+    model = gtr(
+        np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+        np.array([0.3, 0.2, 0.2, 0.3]),
+    )
+    gamma = GammaRates(0.8, 4)
+    z_left = rng.uniform(0.1, 1.0, size=(n_sites, 4, 4))
+    z_right = rng.uniform(0.1, 1.0, size=(n_sites, 4, 4))
+    weights = np.ones(n_sites)
+    return model.eigen(), gamma, z_left, z_right, weights

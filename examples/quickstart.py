@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: simulate data, compute a likelihood, optimise, search.
+
+The 60-second tour of the library's public API:
+
+1. simulate a DNA alignment along a random tree (GTR+Gamma),
+2. compute the phylogenetic log-likelihood of the true tree,
+3. optimise branch lengths with the Newton–Raphson kernels,
+4. run a full maximum-likelihood tree search from scratch and check it
+   recovers the generating topology.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GammaRates, LikelihoodEngine, gtr, simulate_dataset
+from repro.search import SearchConfig, ml_search, optimize_all_branches
+
+
+def main() -> None:
+    # 1. simulate: 12 taxa, 1500 sites, GTR+Gamma4 (INDELible-equivalent)
+    sim = simulate_dataset(n_taxa=12, n_sites=1500, seed=42)
+    patterns = sim.alignment.compress()
+    print(
+        f"simulated {sim.alignment.n_taxa} taxa x {sim.alignment.n_sites} sites "
+        f"({patterns.n_patterns} unique patterns)"
+    )
+
+    # 2. likelihood of the true tree under a fresh GTR+Gamma model
+    engine = LikelihoodEngine(
+        patterns, sim.tree.copy(), gtr(), GammaRates(alpha=1.0, n_categories=4)
+    )
+    print(f"lnL (true tree, default parameters): {engine.log_likelihood():.2f}")
+
+    # 3. branch-length optimisation (derivativeSum/derivativeCore kernels)
+    lnl = optimize_all_branches(engine, passes=3)
+    print(f"lnL (after branch optimisation):     {lnl:.2f}")
+
+    # 4. full ML search from a parsimony starting tree
+    result = ml_search(
+        sim.alignment, config=SearchConfig(radii=(5,), max_spr_rounds=5)
+    )
+    rf = result.tree.robinson_foulds(sim.tree)
+    print(f"lnL (full search):                   {result.lnl:.2f}")
+    print(f"estimated alpha: {result.alpha:.3f}")
+    print(f"Robinson-Foulds distance to the true topology: {rf}")
+    print(f"kernel invocations during the search: {result.counters.merged()}")
+    print("\nfinal tree:")
+    print(result.newick)
+
+
+if __name__ == "__main__":
+    main()

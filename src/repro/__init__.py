@@ -1,0 +1,66 @@
+"""repro — reproduction of "Efficient Computation of the Phylogenetic
+Likelihood Function on the Intel MIC Architecture" (Kozlov, Goll,
+Stamatakis; 2014).
+
+The package is organised as the paper's system stack:
+
+* :mod:`repro.phylo` — phylogenetics substrate (alignments, trees,
+  models, simulation, parsimony).
+* :mod:`repro.core` — the paper's contribution: the four PLF kernels
+  (``newview``, ``evaluate``, ``derivativeSum``, ``derivativeCore``),
+  the likelihood engine, and their MIC-vectorised counterparts.
+* :mod:`repro.search` — RAxML-Light-style maximum-likelihood tree
+  search (branch-length and model optimisation, lazy SPR).
+* :mod:`repro.mic` — simulated Intel MIC: vector ISA, cycle-accounting
+  virtual machine, caches/memory/prefetch, pragma auto-vectorizer,
+  offload runtime.
+* :mod:`repro.parallel` — simulated parallel runtimes (MPI, OpenMP,
+  PThreads fork-join, ExaML hybrid).
+* :mod:`repro.perf` — platform descriptors (Table I), roofline cost
+  model, trace-driven time/energy prediction.
+* :mod:`repro.harness` — regenerates every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import simulate_dataset, LikelihoodEngine, gtr, GammaRates
+
+    sim = simulate_dataset(n_taxa=15, n_sites=2000, seed=1)
+    engine = LikelihoodEngine(
+        sim.alignment.compress(), sim.tree, gtr(), GammaRates(alpha=0.8)
+    )
+    print(engine.log_likelihood())
+"""
+
+from .core.engine import LikelihoodEngine
+from .phylo import (
+    Alignment,
+    GammaRates,
+    PatternAlignment,
+    SubstitutionModel,
+    Tree,
+    gtr,
+    hky85,
+    jc69,
+    k80,
+    random_topology,
+    simulate_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LikelihoodEngine",
+    "Alignment",
+    "GammaRates",
+    "PatternAlignment",
+    "SubstitutionModel",
+    "Tree",
+    "gtr",
+    "hky85",
+    "jc69",
+    "k80",
+    "random_topology",
+    "simulate_dataset",
+    "__version__",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Wraps the library's main workflows the way RAxML-Light/ExaML are driven
+in practice — files in, files out:
+
+* ``repro simulate``  — generate a GTR+Gamma alignment (INDELible stand-in)
+* ``repro search``    — full ML tree search on an alignment file
+* ``repro place``     — EPA: place query sequences on a reference tree
+* ``repro kernels``   — per-kernel VM measurements (Figure 3 raw data)
+* ``repro predict``   — trace-driven runtime/energy prediction for one
+                        platform and alignment size (Table III cells)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PLF-on-MIC reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate a GTR+Gamma alignment")
+    p_sim.add_argument("--taxa", type=int, default=15)
+    p_sim.add_argument("--sites", type=int, default=1000)
+    p_sim.add_argument("--seed", type=int, default=2014)
+    p_sim.add_argument("--alpha", type=float, default=1.0)
+    p_sim.add_argument("--out", type=Path, required=True, help="PHYLIP output")
+    p_sim.add_argument("--tree-out", type=Path, help="write the true tree")
+
+    p_search = sub.add_parser("search", help="maximum-likelihood tree search")
+    p_search.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
+    p_search.add_argument("--out", type=Path, help="Newick output")
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--radius", type=int, nargs="+", default=[5, 10])
+    p_search.add_argument("--no-rates", action="store_true",
+                          help="skip GTR exchangeability optimisation")
+    p_search.add_argument("--draw", action="store_true",
+                          help="print the tree as ASCII art")
+    p_search.add_argument("--start", choices=["parsimony", "nj"],
+                          default="parsimony",
+                          help="starting-tree method")
+
+    p_stats = sub.add_parser("stats", help="alignment summary statistics")
+    p_stats.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
+
+    p_place = sub.add_parser("place", help="EPA query placement")
+    p_place.add_argument("--reference", type=Path, required=True,
+                         help="reference alignment (FASTA/PHYLIP)")
+    p_place.add_argument("--tree", type=Path, required=True,
+                         help="reference tree (Newick)")
+    p_place.add_argument("--queries", type=Path, required=True,
+                         help="aligned query sequences (FASTA)")
+    p_place.add_argument("--out", type=Path, help="jplace output")
+    p_place.add_argument("--best", type=int, default=5)
+
+    sub.add_parser("kernels", help="VM kernel measurements (Figure 3)")
+
+    p_pred = sub.add_parser("predict", help="runtime/energy prediction")
+    p_pred.add_argument("--sites", type=int, required=True)
+    p_pred.add_argument(
+        "--system",
+        choices=["cpu2630", "cpu2680", "mic1", "mic2"],
+        default="mic1",
+    )
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .phylo import simulate_dataset, write_phylip
+
+    sim = simulate_dataset(
+        n_taxa=args.taxa, n_sites=args.sites, seed=args.seed,
+        alpha=args.alpha if args.alpha > 0 else None,
+    )
+    write_phylip(sim.alignment, args.out)
+    print(f"wrote {args.out} ({args.taxa} taxa x {args.sites} sites)")
+    if args.tree_out:
+        args.tree_out.write_text(sim.tree.to_newick() + "\n")
+        print(f"wrote {args.tree_out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .phylo import read_alignment
+    from .search import SearchConfig, ml_search
+
+    alignment = read_alignment(args.alignment)
+    print(
+        f"read {alignment.n_taxa} taxa x {alignment.n_sites} sites "
+        f"from {args.alignment}"
+    )
+    starting_tree = None
+    if args.start == "nj":
+        from .phylo.distance import jc_distance, neighbor_joining
+
+        d, taxa = jc_distance(alignment)
+        starting_tree = neighbor_joining(d, taxa)
+        print("starting tree: neighbor joining on JC distances")
+    result = ml_search(
+        alignment,
+        starting_tree=starting_tree,
+        config=SearchConfig(
+            radii=tuple(args.radius),
+            seed=args.seed,
+            optimize_exchangeabilities=not args.no_rates,
+        ),
+    )
+    print(f"final lnL: {result.lnl:.4f}")
+    print(f"alpha:     {result.alpha:.4f}")
+    print(
+        "rates:     "
+        + " ".join(f"{x:.4f}" for x in result.model.exchangeabilities)
+    )
+    if args.out:
+        args.out.write_text(result.newick + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(result.newick)
+    if args.draw:
+        from .phylo.draw import ascii_tree
+
+        print(ascii_tree(result.tree))
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from .phylo import GammaRates, Tree, gtr, read_alignment, read_fasta
+    from .search.epa import place_queries, to_jplace
+
+    reference = read_alignment(args.reference)
+    tree = Tree.from_newick(args.tree.read_text())
+    query_aln = read_fasta(args.queries)
+    queries = {t: query_aln.sequence(t) for t in query_aln.taxa}
+    results = place_queries(
+        reference, tree, queries, gtr(), GammaRates(1.0, 4),
+        keep_best=args.best,
+    )
+    for result in results:
+        best = result.best
+        print(
+            f"{result.query}: branch toward [{','.join(best.edge_label)}] "
+            f"lnL {best.log_likelihood:.2f} LWR {best.weight_ratio:.3f}"
+        )
+    if args.out:
+        args.out.write_text(json.dumps(to_jplace(results, tree), indent=2))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .phylo import read_alignment
+    from .phylo.stats import alignment_stats
+
+    print(alignment_stats(read_alignment(args.alignment)).summary())
+    return 0
+
+
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    from .harness.figure3 import render_figure3
+
+    print(render_figure3())
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .parallel import ExaMLModel, examl_cpu, examl_mic_hybrid
+    from .perf import (
+        DEFAULT_TRACE,
+        XEON_E5_2630_2S,
+        XEON_E5_2680_2S,
+        XEON_PHI_5110P_1S,
+        XEON_PHI_5110P_2S,
+        energy_wh,
+    )
+
+    systems = {
+        "cpu2630": (XEON_E5_2630_2S, examl_cpu(XEON_E5_2630_2S)),
+        "cpu2680": (XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S)),
+        "mic1": (XEON_PHI_5110P_1S, examl_mic_hybrid(n_cards=1)),
+        "mic2": (XEON_PHI_5110P_2S, examl_mic_hybrid(n_cards=2)),
+    }
+    spec, config = systems[args.system]
+    model = ExaMLModel(spec, config)
+    pred = model.predict(DEFAULT_TRACE, args.sites)
+    base = ExaMLModel(XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S)).predict(
+        DEFAULT_TRACE, args.sites
+    )
+    print(f"system:   {spec.name}  ({config.name})")
+    print(f"sites:    {args.sites}")
+    print(f"time:     {pred.total_s:.2f} s   "
+          f"(compute {pred.compute_s:.2f}, sync {pred.sync_s:.2f}, "
+          f"serial {pred.serial_s:.2f}, ramp {pred.ramp_s:.2f}, "
+          f"comm {pred.comm_s:.2f})")
+    print(f"speedup vs 2S E5-2680: {base.total_s / pred.total_s:.2f}x")
+    print(f"energy:   {energy_wh(spec, pred.total_s):.3f} Wh")
+    fits = model.fits_in_memory(args.sites, DEFAULT_TRACE.n_taxa)
+    print(f"fits in {spec.memory_gb:.0f} GB memory: {fits}")
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _cmd_simulate,
+    "search": _cmd_search,
+    "place": _cmd_place,
+    "stats": _cmd_stats,
+    "kernels": _cmd_kernels,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

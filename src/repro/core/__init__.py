@@ -1,0 +1,30 @@
+"""The paper's core contribution: the PLF kernels and likelihood engine.
+
+``kernels`` holds the NumPy reference implementations of ``newview``,
+``evaluate``, ``derivativeSum`` and ``derivativeCore``; ``engine`` wires
+them to trees and alignments with structural CLA validity tracking;
+``vectorized`` re-expresses the kernels as vector programs for the
+simulated MIC (:mod:`repro.mic`); ``layouts`` implements the
+interleaved memory layout of Sec. V-B3.
+"""
+
+from .cat import CatLikelihoodEngine
+from .engine import LikelihoodEngine
+from .layouts import InterleavedLayout
+from .memsave import MemorySavingEngine
+from .partitioned import Partition, PartitionedEngine, partition_workers
+from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
+
+__all__ = [
+    "CatLikelihoodEngine",
+    "LikelihoodEngine",
+    "InterleavedLayout",
+    "MemorySavingEngine",
+    "Partition",
+    "PartitionedEngine",
+    "partition_workers",
+    "KernelCounters",
+    "KernelKind",
+    "NewviewOp",
+    "TraversalDescriptor",
+]

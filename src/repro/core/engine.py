@@ -1,0 +1,323 @@
+"""The likelihood engine: CLAs, virtual roots, and kernel dispatch.
+
+:class:`LikelihoodEngine` is the equivalent of RAxML's likelihood core:
+it owns the conditional likelihood arrays (one per internal node), keeps
+track of which are valid for which orientation, plans minimal traversals
+when the tree changes, and dispatches the four kernels from
+:mod:`repro.core.kernels`.
+
+Validity tracking uses structural *subtree signatures* instead of
+explicit invalidation hooks: a CLA oriented toward edge ``e`` is valid
+iff the topology and branch lengths below it (plus the model parameters)
+are unchanged since it was computed.  The engine recomputes a signature
+per node during traversal planning (O(n) per likelihood evaluation) and
+recomputes exactly the stale CLAs — which makes it impossible for a
+topology move or branch-length change to leave a stale CLA behind, a
+classic source of silent likelihood bugs in hand-invalidated codes.
+
+Every kernel dispatch is recorded in :class:`KernelCounters`; a tree
+search run therefore leaves behind the invocation trace that drives the
+paper's performance model (Sec. VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..phylo.alignment import PatternAlignment
+from ..phylo.models import SubstitutionModel
+from ..phylo.rates import GammaRates
+from ..phylo.tree import Tree
+from . import kernels
+from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
+
+__all__ = ["LikelihoodEngine"]
+
+
+class LikelihoodEngine:
+    """Phylogenetic likelihood function over a mutable tree.
+
+    Parameters
+    ----------
+    patterns:
+        Pattern-compressed alignment (see
+        :meth:`repro.phylo.alignment.Alignment.compress`).
+    tree:
+        The tree the engine evaluates.  The engine holds a reference; the
+        tree may be mutated freely (SPR/NNI/branch changes) between
+        calls — stale CLAs are detected structurally.
+    model:
+        A reversible substitution model.
+    rates:
+        Discrete-Gamma heterogeneity (the paper's Gamma4 configuration is
+        ``GammaRates(alpha, 4)``); ``None`` means a single unit rate.
+    """
+
+    def __init__(
+        self,
+        patterns: PatternAlignment,
+        tree: Tree,
+        model: SubstitutionModel,
+        rates: GammaRates | None = None,
+    ) -> None:
+        self.patterns = patterns
+        self.tree = tree
+        self.counters = KernelCounters()
+        self._model_version = 0
+        self._clas: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._valid: dict[int, tuple[int, object]] = {}  # node -> (edge, signature)
+        self._tip_codes: dict[str, np.ndarray] = {
+            name: patterns.row(name) for name in patterns.taxa
+        }
+        self.set_model(model, rates if rates is not None else GammaRates(1.0, 1))
+
+    # ------------------------------------------------------------------
+    # model handling
+    # ------------------------------------------------------------------
+    def set_model(self, model: SubstitutionModel, rates: GammaRates | None = None) -> None:
+        """Install new model parameters; all CLAs become stale."""
+        if model.n_states != self.patterns.states.n_states:
+            raise ValueError(
+                f"model has {model.n_states} states, alignment alphabet has "
+                f"{self.patterns.states.n_states}"
+            )
+        self.model = model
+        if rates is not None:
+            self.rates_model = rates
+        self.eigen = model.eigen()
+        self.rate_values = self.rates_model.rates
+        self.rate_weights = self.rates_model.weights
+        self.n_rates = self.rate_values.shape[0]
+        if self.patterns.states.n_states <= 8:
+            tip_table = self.patterns.states.tip_table()
+            self._tip_eigen = kernels.tip_eigen_table(self.eigen, tip_table)
+        else:
+            # Large alphabets (protein): build rows only for codes present.
+            codes = np.unique(self.patterns.data)
+            rows = self.patterns.states.tip_rows(codes)
+            dense = np.zeros((int(codes.max()) + 1, model.n_states))
+            dense[codes] = rows
+            self._tip_eigen = dense @ self.eigen.u_inv.T
+        self._model_version += 1
+        self._valid.clear()
+
+    def set_alpha(self, alpha: float) -> None:
+        """Convenience: replace the Gamma shape parameter."""
+        self.set_model(self.model, self.rates_model.with_alpha(alpha))
+
+    # ------------------------------------------------------------------
+    # signatures (structural CLA validity)
+    # ------------------------------------------------------------------
+    def _signatures(self, root_edge: int) -> dict[tuple[int, int], object]:
+        """Subtree signature of every directed (node, up_edge) below the root.
+
+        The signature of a leaf is its name; an internal node's signature
+        combines its children's signatures with the connecting edge ids
+        and lengths, plus the global model version.  Two equal signatures
+        imply equal subtree likelihood content.
+        """
+        tree = self.tree
+        sigs: dict[tuple[int, int], object] = {}
+        for node, _parent, up_edge in tree.postorder(root_edge):
+            if tree.is_leaf(node):
+                sigs[(node, up_edge)] = tree.name(node)
+                continue
+            parts = [self._model_version]
+            for child, eid in tree.children(node, up_edge):
+                parts.append((eid, tree.edge(eid).length, sigs[(child, eid)]))
+            sigs[(node, up_edge)] = tuple(parts)
+        return sigs
+
+    # ------------------------------------------------------------------
+    # traversal planning and execution
+    # ------------------------------------------------------------------
+    def _make_op(self, node: int, up_edge: int) -> NewviewOp:
+        """Build the ``newview`` op descriptor for one directed node."""
+        tree = self.tree
+        (c1, e1), (c2, e2) = tree.children(node, up_edge)
+        tips = tree.is_leaf(c1) + tree.is_leaf(c2)
+        kind = (
+            KernelKind.NEWVIEW_TIP_TIP
+            if tips == 2
+            else KernelKind.NEWVIEW_TIP_INNER
+            if tips == 1
+            else KernelKind.NEWVIEW_INNER_INNER
+        )
+        return NewviewOp(
+            node=node, up_edge=up_edge, child1=c1, edge1=e1,
+            child2=c2, edge2=e2, kind=kind,
+        )
+
+    def plan_traversal(self, root_edge: int) -> TraversalDescriptor:
+        """List the ``newview`` ops needed to validate both root CLAs."""
+        tree = self.tree
+        sigs = self._signatures(root_edge)
+        desc = TraversalDescriptor(root_edge=root_edge)
+        for node, _parent, up_edge in tree.postorder(root_edge):
+            if tree.is_leaf(node):
+                continue
+            cached = self._valid.get(node)
+            if cached is not None and cached == (up_edge, sigs[(node, up_edge)]):
+                continue
+            desc.ops.append(self._make_op(node, up_edge))
+        self._last_sigs = sigs
+        return desc
+
+    def _branch_a(self, edge_id: int) -> np.ndarray:
+        t = self.tree.edge(edge_id).length
+        return kernels.branch_matrices(self.eigen, self.rate_values, t)
+
+    def _tip_lookup(self, edge_id: int) -> np.ndarray:
+        return kernels.tip_branch_lookup(self._branch_a(edge_id), self._tip_eigen)
+
+    def execute_traversal(self, desc: TraversalDescriptor) -> None:
+        """Run the planned ``newview`` operations, updating CLAs in place."""
+        tree = self.tree
+        for op in desc.ops:
+            if op.kind is KernelKind.NEWVIEW_TIP_TIP:
+                lut1 = self._tip_lookup(op.edge1)
+                lut2 = self._tip_lookup(op.edge2)
+                z, sc = kernels.newview_tip_tip(
+                    self.eigen.u_inv,
+                    lut1, self._tip_codes[tree.name(op.child1)],
+                    lut2, self._tip_codes[tree.name(op.child2)],
+                )
+            elif op.kind is KernelKind.NEWVIEW_TIP_INNER:
+                # orient: child1 may be the inner one
+                if tree.is_leaf(op.child1):
+                    tip_child, tip_edge = op.child1, op.edge1
+                    inner_child, inner_edge = op.child2, op.edge2
+                else:
+                    tip_child, tip_edge = op.child2, op.edge2
+                    inner_child, inner_edge = op.child1, op.edge1
+                z2, sc2 = self._clas[inner_child]
+                z, sc = kernels.newview_tip_inner(
+                    self.eigen.u_inv,
+                    self._tip_lookup(tip_edge),
+                    self._tip_codes[tree.name(tip_child)],
+                    self._branch_a(inner_edge),
+                    z2, sc2,
+                )
+            else:
+                z1, sc1 = self._clas[op.child1]
+                z2, sc2 = self._clas[op.child2]
+                z, sc = kernels.newview_inner_inner(
+                    self.eigen.u_inv,
+                    self._branch_a(op.edge1), self._branch_a(op.edge2),
+                    z1, z2, sc1, sc2,
+                )
+            self._clas[op.node] = (z, sc)
+            self._valid[op.node] = (op.up_edge, self._last_sigs[(op.node, op.up_edge)])
+            self.counters.record(op.kind, self.patterns.n_patterns)
+
+    def ensure_valid(self, root_edge: int) -> None:
+        """Make both CLAs adjacent to ``root_edge`` valid."""
+        self.execute_traversal(self.plan_traversal(root_edge))
+        # Topology moves retire node ids; evict their CLAs once the cache
+        # clearly outgrows the live tree (node ids are never reused, so a
+        # dead entry can never come back to life).
+        if len(self._clas) > 4 * self.tree.n_leaves:
+            live = set(self.tree.nodes)
+            for node in [n for n in self._clas if n not in live]:
+                del self._clas[node]
+                self._valid.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # root-level quantities
+    # ------------------------------------------------------------------
+    def _root_sides(self, root_edge: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(z_left, z_right, scale_counts)`` for a validated root edge."""
+        edge = self.tree.edge(root_edge)
+        zs = []
+        scales = np.zeros(self.patterns.n_patterns, dtype=np.int64)
+        for node in (edge.u, edge.v):
+            if self.tree.is_leaf(node):
+                codes = self._tip_codes[self.tree.name(node)]
+                zs.append(self._tip_eigen[codes][:, None, :])
+            else:
+                z, sc = self._clas[node]
+                zs.append(z)
+                scales = scales + sc
+        return zs[0], zs[1], scales
+
+    def default_edge(self) -> int:
+        """A deterministic virtual-root branch (lowest edge id)."""
+        return min(self.tree.edge_ids)
+
+    def log_likelihood(self, root_edge: int | None = None) -> float:
+        """Tree log-likelihood with the virtual root on ``root_edge``.
+
+        Under reversibility the value is identical for every choice of
+        root edge (the pulley principle) — a property the test suite
+        checks exhaustively.
+        """
+        if root_edge is None:
+            root_edge = self.default_edge()
+        self.ensure_valid(root_edge)
+        z_l, z_r, scales = self._root_sides(root_edge)
+        exps = kernels.branch_exponentials(
+            self.eigen, self.rate_values, self.tree.edge(root_edge).length
+        )
+        lnl = kernels.evaluate_edge(
+            z_l, z_r, exps, self.rate_weights, self.patterns.weights, scales
+        )
+        self.counters.record(KernelKind.EVALUATE, self.patterns.n_patterns)
+        return lnl
+
+    def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
+        """Per-pattern log-likelihoods (expand with ``patterns.expand``)."""
+        if root_edge is None:
+            root_edge = self.default_edge()
+        self.ensure_valid(root_edge)
+        z_l, z_r, scales = self._root_sides(root_edge)
+        exps = kernels.branch_exponentials(
+            self.eigen, self.rate_values, self.tree.edge(root_edge).length
+        )
+        self.counters.record(KernelKind.EVALUATE, self.patterns.n_patterns)
+        return kernels.site_log_likelihoods(
+            z_l, z_r, exps, self.rate_weights, scales
+        )
+
+    def edge_sum_buffer(self, root_edge: int) -> np.ndarray:
+        """The ``derivativeSum`` pre-computation for a branch.
+
+        Valid for every trial length of *this* branch while the rest of
+        the tree is unchanged — the reuse that makes Newton–Raphson
+        iterations nearly free (Sec. IV).
+        """
+        self.ensure_valid(root_edge)
+        z_l, z_r, _ = self._root_sides(root_edge)
+        sumbuf = kernels.derivative_sum(z_l, z_r)
+        self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
+        return sumbuf
+
+    def branch_derivatives(
+        self, sumbuf: np.ndarray, t: float
+    ) -> tuple[float, float, float]:
+        """``(lnL*, dlnL/dt, d2lnL/dt2)`` at trial branch length ``t``.
+
+        ``lnL*`` omits the (t-independent) scaling correction; see
+        :func:`repro.core.kernels.derivative_core`.
+        """
+        out = kernels.derivative_core(
+            sumbuf,
+            self.eigen.eigenvalues,
+            self.rate_values,
+            self.rate_weights,
+            t,
+            self.patterns.weights,
+        )
+        self.counters.record(KernelKind.DERIVATIVE_CORE, self.patterns.n_patterns)
+        return out
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def drop_caches(self) -> None:
+        """Release all CLAs (memory-saving hook; they rebuild lazily)."""
+        self._clas.clear()
+        self._valid.clear()
+
+    def cla_memory_bytes(self) -> int:
+        """Current CLA memory footprint (the paper's 8 GB-per-card concern)."""
+        return sum(z.nbytes + sc.nbytes for z, sc in self._clas.values())

@@ -1,0 +1,96 @@
+"""CLA memory layouts for vectorized kernels (Section V-B2/V-B3).
+
+The reference kernels hold CLAs as ``(patterns, rates, states)`` NumPy
+arrays.  The vectorized kernels need them *flat and interleaved*: one
+contiguous block of ``rates x states`` doubles per site, sites
+consecutive, every per-site block starting on a vector-alignment
+boundary.  For the paper's configuration (DNA, Gamma-4) a block is 16
+doubles = 128 bytes — naturally 64-byte aligned, which is why that
+configuration vectorizes so cleanly on the MIC.  For CAT (one rate per
+site: 4 doubles = 32 bytes) blocks straddle alignment boundaries unless
+padded; :class:`InterleavedLayout` computes the required padding, the
+"special care" of Sec. V-B2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InterleavedLayout"]
+
+
+@dataclass(frozen=True)
+class InterleavedLayout:
+    """Flat per-site block layout with alignment padding.
+
+    Parameters
+    ----------
+    n_sites:
+        Number of site patterns.
+    n_rates, n_states:
+        Per-site block dimensions (block = ``n_rates * n_states``
+        doubles).
+    alignment:
+        Required byte alignment of each per-site block (the ISA's vector
+        alignment; 64 for MIC).
+    """
+
+    n_sites: int
+    n_rates: int
+    n_states: int
+    alignment: int = 64
+
+    @property
+    def block_doubles(self) -> int:
+        """Payload doubles per site."""
+        return self.n_rates * self.n_states
+
+    @property
+    def padded_doubles(self) -> int:
+        """Doubles per site after padding to the alignment boundary."""
+        align_doubles = self.alignment // 8
+        blocks = (self.block_doubles + align_doubles - 1) // align_doubles
+        return blocks * align_doubles
+
+    @property
+    def padding_doubles(self) -> int:
+        return self.padded_doubles - self.block_doubles
+
+    @property
+    def total_doubles(self) -> int:
+        return self.n_sites * self.padded_doubles
+
+    @property
+    def bytes_per_site(self) -> int:
+        return self.padded_doubles * 8
+
+    def site_offset(self, site: int) -> int:
+        """Byte offset of a site's block within the flat array."""
+        if not 0 <= site < self.n_sites:
+            raise IndexError(f"site {site} outside [0, {self.n_sites})")
+        return site * self.padded_doubles * 8
+
+    def to_flat(self, z: np.ndarray) -> np.ndarray:
+        """Pack ``(sites, rates, states)`` into the padded flat layout."""
+        if z.shape != (self.n_sites, self.n_rates, self.n_states):
+            raise ValueError(
+                f"expected {(self.n_sites, self.n_rates, self.n_states)}, "
+                f"got {z.shape}"
+            )
+        flat = np.zeros(self.total_doubles, dtype=np.float64)
+        view = flat.reshape(self.n_sites, self.padded_doubles)
+        view[:, : self.block_doubles] = z.reshape(self.n_sites, -1)
+        return flat
+
+    def from_flat(self, flat: np.ndarray) -> np.ndarray:
+        """Unpack the padded flat layout back to ``(sites, rates, states)``."""
+        if flat.shape != (self.total_doubles,):
+            raise ValueError(
+                f"expected flat shape {(self.total_doubles,)}, got {flat.shape}"
+            )
+        view = flat.reshape(self.n_sites, self.padded_doubles)
+        return view[:, : self.block_doubles].reshape(
+            self.n_sites, self.n_rates, self.n_states
+        ).copy()

@@ -1,0 +1,138 @@
+"""Traversal descriptors and kernel-invocation accounting.
+
+ExaML replicates the tree-search state on every rank and drives the PLF
+through *traversal descriptors* — ordered lists of ``newview``
+operations that make a virtual root's two CLAs valid.  We keep the same
+structure: the engine plans a traversal (only the stale nodes), executes
+it, and records every kernel invocation in a :class:`KernelCounters`
+object.
+
+The counters are the bridge to the performance model: a full tree search
+run yields, per kernel, the number of calls and the number of
+(site-pattern x call) units processed, which
+:class:`repro.perf.trace.KernelTrace` scales to the paper's dataset
+sizes and feeds to the platform cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["KernelKind", "NewviewOp", "TraversalDescriptor", "KernelCounters"]
+
+
+class KernelKind(str, Enum):
+    """The four PLF kernels of Section IV, split by ``newview`` tip cases.
+
+    RAxML implements (and the paper vectorises) distinct code paths for
+    the tip-tip / tip-inner / inner-inner ``newview`` cases; we count
+    them separately because their arithmetic intensity differs, then the
+    cost model aggregates them back into the paper's four kernels.
+    """
+
+    NEWVIEW_TIP_TIP = "newview_tip_tip"
+    NEWVIEW_TIP_INNER = "newview_tip_inner"
+    NEWVIEW_INNER_INNER = "newview_inner_inner"
+    EVALUATE = "evaluate"
+    DERIVATIVE_SUM = "derivative_sum"
+    DERIVATIVE_CORE = "derivative_core"
+
+    @property
+    def newview_like(self) -> bool:
+        return self.value.startswith("newview")
+
+
+@dataclass(frozen=True)
+class NewviewOp:
+    """One planned CLA update: parent from two children across two edges."""
+
+    node: int
+    up_edge: int
+    child1: int
+    edge1: int
+    child2: int
+    edge2: int
+    kind: KernelKind
+
+
+@dataclass
+class TraversalDescriptor:
+    """An ordered batch of ``newview`` operations for one virtual root.
+
+    ``root_edge`` is where ``evaluate`` (or a derivative computation)
+    will be performed once the listed operations have run.
+    """
+
+    root_edge: int
+    ops: list[NewviewOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class KernelCounters:
+    """Running totals of kernel invocations and processed site units.
+
+    ``calls[k]`` counts invocations of kernel ``k``; ``site_units[k]``
+    counts ``calls x n_patterns`` work units, the quantity per-site cost
+    models multiply by their per-site time.  ``reductions`` counts the
+    scalar all-reduce points (one per ``evaluate``, one per
+    ``derivativeCore`` batch) that dominate distributed overhead in
+    Sec. VI-B3.
+    """
+
+    calls: dict[KernelKind, int] = field(default_factory=dict)
+    site_units: dict[KernelKind, int] = field(default_factory=dict)
+    reductions: int = 0
+
+    def record(self, kind: KernelKind, n_patterns: int, calls: int = 1) -> None:
+        self.calls[kind] = self.calls.get(kind, 0) + calls
+        self.site_units[kind] = self.site_units.get(kind, 0) + calls * n_patterns
+        if kind in (KernelKind.EVALUATE, KernelKind.DERIVATIVE_CORE):
+            self.reductions += calls
+
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def merged(self) -> dict[str, int]:
+        """Calls aggregated to the paper's four kernel names."""
+        out = {"newview": 0, "evaluate": 0, "derivative_sum": 0, "derivative_core": 0}
+        for kind, n in self.calls.items():
+            key = "newview" if kind.newview_like else kind.value
+            out[key] += n
+        return out
+
+    def merged_site_units(self) -> dict[str, int]:
+        """Site units aggregated to the paper's four kernel names."""
+        out = {"newview": 0, "evaluate": 0, "derivative_sum": 0, "derivative_core": 0}
+        for kind, n in self.site_units.items():
+            key = "newview" if kind.newview_like else kind.value
+            out[key] += n
+        return out
+
+    def copy(self) -> "KernelCounters":
+        c = KernelCounters()
+        c.calls = dict(self.calls)
+        c.site_units = dict(self.site_units)
+        c.reductions = self.reductions
+        return c
+
+    def diff(self, earlier: "KernelCounters") -> "KernelCounters":
+        """Counters accumulated since ``earlier`` (a prior :meth:`copy`)."""
+        c = KernelCounters()
+        keys = set(self.calls) | set(earlier.calls)
+        c.calls = {
+            k: self.calls.get(k, 0) - earlier.calls.get(k, 0)
+            for k in keys
+            if self.calls.get(k, 0) != earlier.calls.get(k, 0)
+        }
+        keys = set(self.site_units) | set(earlier.site_units)
+        c.site_units = {
+            k: self.site_units.get(k, 0) - earlier.site_units.get(k, 0)
+            for k in keys
+            if self.site_units.get(k, 0) != earlier.site_units.get(k, 0)
+        }
+        c.reductions = self.reductions - earlier.reductions
+        return c

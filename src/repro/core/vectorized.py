@@ -1,0 +1,656 @@
+"""The PLF kernels as vector programs — the simulated "MIC port".
+
+Each ``emit_*`` function reproduces one of Section V-B's optimised
+kernels as an explicit instruction stream for a given ISA, applying the
+paper's techniques:
+
+* **loop re-organisation** (V-B3): ``newview``'s 1x4-by-4x4 mat-vecs are
+  fused across the four Gamma rates into 16-wide blocks computed with
+  shuffle + FMA pairs;
+* **streaming stores** (V-B5): ``newview`` and ``derivativeSum`` write
+  their outputs with non-temporal stores;
+* **software prefetching** (V-B6): a tunable prefetch distance issues
+  ``PREFETCH`` for future per-site blocks of every streamed input;
+* **site blocking** (V-B4): ``derivativeCore`` stages 8 per-site scalar
+  results in a buffer and replaces 8 scalar divisions with one vector
+  division.
+
+Programs execute on :class:`~repro.mic.vm.VectorMachine` and compute the
+*actual numerics*, so every generator is validated lane-for-lane against
+the NumPy reference kernels in the test suite.  Per-site underflow
+scaling is omitted here (it never triggers at benchmark-window sizes and
+costs ~2 instructions/site); the reference kernels remain the source of
+truth for full-tree likelihoods.
+
+All generators assume the DNA + Gamma-4 configuration the paper's MIC
+port supports (16 doubles per site), with the vector width dividing 16
+(MIC: 8, AVX: 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mic.isa import Instruction, Op, VectorISA
+from ..mic.memory import CACHE_LINE
+from ..mic.vm import VectorMachine, VectorProgram
+from ..phylo.models import EigenSystem
+from .kernels import branch_exponentials, branch_matrices
+
+__all__ = [
+    "GammaDnaBuffers",
+    "setup_buffers",
+    "emit_derivative_sum",
+    "emit_evaluate",
+    "emit_newview_inner_inner",
+    "emit_newview_tip_tip",
+    "emit_cat_derivative_sum",
+    "emit_derivative_core",
+    "prepare_evaluate_consts",
+    "prepare_newview_consts",
+    "prepare_tip_consts",
+    "prepare_derivative_consts",
+    "BLOCK_DOUBLES",
+]
+
+#: DNA x Gamma-4: 16 doubles per site (the paper's fixed configuration).
+BLOCK_DOUBLES = 16
+N_STATES = 4
+N_RATES = 4
+
+
+@dataclass
+class GammaDnaBuffers:
+    """Simulated-memory addresses for one kernel invocation's operands."""
+
+    n_sites: int
+    left: int  # CLA (z) of left child / left root side
+    right: int  # CLA of right child / right root side
+    out: int  # output CLA / sum buffer
+    consts: dict[str, int]  # named constant tables (matrices, exps, weights)
+    scalar_out: int  # where scalar results (lnL, derivatives) are stored
+
+
+def setup_buffers(
+    vm: VectorMachine,
+    z_left: np.ndarray,
+    z_right: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> GammaDnaBuffers:
+    """Allocate and fill VM memory for a pair of site-blocked CLAs.
+
+    ``z_left``/``z_right`` are reference-layout ``(sites, 4, 4)`` arrays
+    (tips may be broadcast to that shape first).
+    """
+    n_sites = z_left.shape[0]
+    if z_left.shape != (n_sites, N_RATES, N_STATES):
+        raise ValueError(f"expected (sites, 4, 4) CLA, got {z_left.shape}")
+    if z_right.shape != z_left.shape:
+        raise ValueError("left/right CLA shapes differ")
+    n = n_sites * BLOCK_DOUBLES
+    left = vm.alloc(n)
+    right = vm.alloc(n)
+    out = vm.alloc(n)
+    vm.write_array(left, z_left.reshape(-1))
+    vm.write_array(right, z_right.reshape(-1))
+    consts: dict[str, int] = {}
+    if weights is not None:
+        if weights.shape != (n_sites,):
+            raise ValueError("pattern weights must be per-site")
+        addr = vm.alloc(n_sites, align=64)
+        vm.write_array(addr, weights)
+        consts["weights"] = addr
+    scalar_out = vm.alloc(8, align=64)
+    return GammaDnaBuffers(
+        n_sites=n_sites, left=left, right=right, out=out,
+        consts=consts, scalar_out=scalar_out,
+    )
+
+
+def _chunks(isa: VectorISA, need_shuffles: bool = True) -> int:
+    if BLOCK_DOUBLES % isa.width:
+        raise ValueError(
+            f"vector width {isa.width} does not divide the {BLOCK_DOUBLES}-"
+            "double site block; the Gamma-4 DNA kernels need width in "
+            "{2, 4, 8, 16}"
+        )
+    if need_shuffles and isa.width not in (4, 8):
+        raise ValueError(
+            "shuffle-based mat-vec kernels are implemented for widths 4 "
+            "(AVX) and 8 (MIC)"
+        )
+    if not need_shuffles and isa.width not in (2, 4, 8):
+        raise ValueError(
+            "streaming kernels are implemented for widths 2 (SSE), 4 "
+            "(AVX) and 8 (MIC)"
+        )
+    return BLOCK_DOUBLES // isa.width
+
+
+def _emit_prefetches(
+    prog: VectorProgram,
+    bufs: list[int],
+    site: int,
+    n_sites: int,
+    distance: int,
+) -> None:
+    """Prefetch the per-site blocks ``distance`` sites ahead (V-B6)."""
+    if distance <= 0:
+        return
+    target = site + distance
+    if target >= n_sites:
+        return
+    off = target * BLOCK_DOUBLES * 8
+    for base in bufs:
+        for line in range(0, BLOCK_DOUBLES * 8, CACHE_LINE):
+            prog.emit(Instruction(Op.PREFETCH, addr=base + off + line))
+
+
+def emit_derivative_sum(
+    isa: VectorISA,
+    bufs: GammaDnaBuffers,
+    prefetch_distance: int = 8,
+    nontemporal: bool = True,
+) -> VectorProgram:
+    """``derivativeSum``: ``sum[l] = left[l] * right[l]`` (Figure 2).
+
+    The pure streaming kernel: per site, load two 16-double blocks,
+    multiply, streaming-store the product.  Bandwidth-bound on every
+    platform, which is why it shows the paper's best MIC speedup (2.8x).
+    """
+    prog = VectorProgram(name=f"derivative_sum[{isa.name}]")
+    chunks = _chunks(isa, need_shuffles=False)
+    step = isa.width * 8
+    store = Op.VSTORE_NT if nontemporal else Op.VSTORE
+    for site in range(bufs.n_sites):
+        _emit_prefetches(
+            prog, [bufs.left, bufs.right], site, bufs.n_sites, prefetch_distance
+        )
+        base = site * BLOCK_DOUBLES * 8
+        for ch in range(chunks):
+            off = base + ch * step
+            prog.emit(Instruction(Op.VLOAD, dest="v0", addr=bufs.left + off))
+            prog.emit(Instruction(Op.VLOAD, dest="v1", addr=bufs.right + off))
+            prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+            prog.emit(Instruction(store, srcs=("v2",), addr=bufs.out + off))
+    return prog
+
+
+def emit_cat_derivative_sum(
+    isa: VectorISA,
+    layout,
+    left: int,
+    right: int,
+    out: int,
+) -> VectorProgram:
+    """``derivativeSum`` over a CAT-layout buffer (Sec. V-B2's hazard).
+
+    Under CAT a site block is 4 doubles (32 bytes).  On the MIC
+    (64-byte vector alignment) every other site block starts mid-vector
+    unless the layout pads blocks to 64 bytes — exactly the "special
+    care must be taken to keep accesses aligned" warning.  This kernel
+    loads whole padded blocks (the pad lanes are multiplied harmlessly),
+    so:
+
+    * with a padded :class:`~repro.core.layouts.InterleavedLayout` the
+      program runs on any ISA;
+    * with an *unpadded* layout on the MIC, the VM rejects the generated
+      program with its misalignment error — the demonstration the test
+      suite pins down.  (On AVX, 32-byte alignment, the unpadded CAT
+      block is naturally aligned — CAT is only a problem on the MIC.)
+
+    ``layout`` is the :class:`InterleavedLayout` describing both input
+    buffers and the output; ``left``/``right``/``out`` are their VM base
+    addresses.
+    """
+    prog = VectorProgram(name=f"cat_derivative_sum[{isa.name}]")
+    step = isa.width * 8
+    block_bytes = layout.padded_doubles * 8
+    for site in range(layout.n_sites):
+        base = site * block_bytes
+        for off in range(0, block_bytes, step):
+            prog.emit(Instruction(Op.VLOAD, dest="v0", addr=left + base + off))
+            prog.emit(Instruction(Op.VLOAD, dest="v1", addr=right + base + off))
+            prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+            store = Op.VSTORE_NT if isa.has_streaming_stores else Op.VSTORE
+            prog.emit(Instruction(store, srcs=("v2",), addr=out + base + off))
+    return prog
+
+
+def _write_const_block(vm: VectorMachine, values: np.ndarray) -> int:
+    addr = vm.alloc(values.size, align=64)
+    vm.write_array(addr, values.reshape(-1))
+    return addr
+
+
+def prepare_evaluate_consts(
+    vm: VectorMachine,
+    bufs: GammaDnaBuffers,
+    eigen: EigenSystem,
+    rates: np.ndarray,
+    rate_weights: np.ndarray,
+    t: float,
+) -> None:
+    """Write the weighted ``diagptable`` for :func:`emit_evaluate`."""
+    exps = branch_exponentials(eigen, rates, t)  # (4, 4)
+    weighted = (rate_weights[:, None] * exps).reshape(-1)  # 16
+    bufs.consts["wexps"] = _write_const_block(vm, weighted)
+
+
+def emit_evaluate(isa: VectorISA, bufs: GammaDnaBuffers) -> VectorProgram:
+    """``evaluate``: per-site triple product, log, weighted reduction.
+
+    Requires :func:`prepare_evaluate_consts` (the ``wexps`` table) and
+    per-site pattern weights in ``bufs.consts['weights']``.  The total
+    log-likelihood is stored to ``bufs.scalar_out``.
+    """
+    if "wexps" not in bufs.consts or "weights" not in bufs.consts:
+        raise ValueError("call prepare_evaluate_consts and supply weights")
+    prog = VectorProgram(name=f"evaluate[{isa.name}]")
+    chunks = _chunks(isa)
+    step = isa.width * 8
+    # load the weighted exponentials once into persistent registers
+    for ch in range(chunks):
+        prog.emit(
+            Instruction(Op.VLOAD, dest=f"e{ch}", addr=bufs.consts["wexps"] + ch * step)
+        )
+    prog.emit(Instruction(Op.VSET, dest="zero", values=(0.0,) * isa.width))
+    prog.emit(Instruction(Op.HADD, dest="acc", srcs=("zero",)))
+    for site in range(bufs.n_sites):
+        _emit_prefetches(prog, [bufs.left, bufs.right], site, bufs.n_sites, 8)
+        base = site * BLOCK_DOUBLES * 8
+        first = True
+        for ch in range(chunks):
+            off = base + ch * step
+            prog.emit(Instruction(Op.VLOAD, dest="v0", addr=bufs.left + off))
+            prog.emit(Instruction(Op.VLOAD, dest="v1", addr=bufs.right + off))
+            prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+            if first:
+                prog.emit(Instruction(Op.VMUL, dest="tacc", srcs=("v2", f"e{ch}")))
+                first = False
+            else:
+                prog.emit(
+                    Instruction(Op.VFMA, dest="tacc", srcs=("v2", f"e{ch}", "tacc"))
+                )
+        prog.emit(Instruction(Op.HADD, dest="site_l", srcs=("tacc",)))
+        prog.emit(Instruction(Op.SLOG, dest="lnl", srcs=("site_l",)))
+        prog.emit(
+            Instruction(Op.SLOAD, dest="w", addr=bufs.consts["weights"] + site * 8)
+        )
+        prog.emit(Instruction(Op.SMUL, dest="wl", srcs=("lnl", "w")))
+        prog.emit(Instruction(Op.SADD, dest="acc", srcs=("acc", "wl")))
+    prog.emit(Instruction(Op.SSTORE, srcs=("acc",), addr=bufs.scalar_out))
+    return prog
+
+
+def prepare_newview_consts(
+    vm: VectorMachine,
+    bufs: GammaDnaBuffers,
+    eigen: EigenSystem,
+    rates: np.ndarray,
+    t1: float,
+    t2: float,
+) -> None:
+    """Write the rearranged branch matrices for :func:`emit_newview_inner_inner`.
+
+    This is the paper's Sec. V-B3 "re-arrange the input arrays": the
+    per-rate ``A(t)`` matrices are stored as four 16-wide vectors
+    ``A_k[(c,i)] = A[c,i,k]`` so the mat-vec inner loop becomes shuffle +
+    FMA over full vectors; likewise for the ``U^-1`` back-projection
+    (``UI_i[(c,k)] = U^-1[k,i]``).
+    """
+    a1 = branch_matrices(eigen, rates, t1)  # (4, 4, 4): [c, i, k]
+    a2 = branch_matrices(eigen, rates, t2)
+    for name, a in (("a1", a1), ("a2", a2)):
+        for k in range(N_STATES):
+            bufs.consts[f"{name}_{k}"] = _write_const_block(
+                vm, a[:, :, k]
+            )  # (c, i) order, 16 values
+    u_inv = eigen.u_inv  # (k, i)
+    for i in range(N_STATES):
+        # UI_i[(c, k)] = u_inv[k, i], repeated for each rate c
+        block = np.tile(u_inv[:, i], N_RATES)
+        bufs.consts[f"ui_{i}"] = _write_const_block(vm, block)
+
+
+def _shuffle_pattern(isa: VectorISA, select: int) -> tuple[int, ...]:
+    """Lane pattern replicating element ``select`` of each 4-lane group."""
+    pattern = []
+    for lane in range(isa.width):
+        group = lane // N_STATES
+        pattern.append(group * N_STATES + select)
+    return tuple(pattern)
+
+
+def emit_newview_inner_inner(
+    isa: VectorISA,
+    bufs: GammaDnaBuffers,
+    prefetch_distance: int = 4,
+) -> VectorProgram:
+    """``newview`` (inner/inner): fused mat-vecs + product + projection.
+
+    Per site and chunk: ``w1 = A1 z1`` and ``w2 = A2 z2`` via 4 shuffle +
+    FMA pairs each, ``v = w1 * w2``, ``z_out = U^-1 v`` via 4 more
+    shuffle + FMA pairs, then a streaming store — two FMA-dominated
+    16-iteration inner loops exactly as Sec. V-B3 describes.
+    """
+    chunks = _chunks(isa)
+    for k in range(N_STATES):
+        if f"a1_{k}" not in bufs.consts:
+            raise ValueError("call prepare_newview_consts first")
+    prog = VectorProgram(name=f"newview_inner_inner[{isa.name}]")
+    step = isa.width * 8
+    # Constant tables live in registers across the whole call.
+    for ch in range(chunks):
+        for k in range(N_STATES):
+            prog.emit(Instruction(
+                Op.VLOAD, dest=f"A1_{k}_{ch}",
+                addr=bufs.consts[f"a1_{k}"] + ch * step,
+            ))
+            prog.emit(Instruction(
+                Op.VLOAD, dest=f"A2_{k}_{ch}",
+                addr=bufs.consts[f"a2_{k}"] + ch * step,
+            ))
+        for i in range(N_STATES):
+            prog.emit(Instruction(
+                Op.VLOAD, dest=f"UI_{i}_{ch}",
+                addr=bufs.consts[f"ui_{i}"] + ch * step,
+            ))
+    for site in range(bufs.n_sites):
+        _emit_prefetches(
+            prog, [bufs.left, bufs.right], site, bufs.n_sites, prefetch_distance
+        )
+        base = site * BLOCK_DOUBLES * 8
+        for ch in range(chunks):
+            off = base + ch * step
+            prog.emit(Instruction(Op.VLOAD, dest="z1", addr=bufs.left + off))
+            prog.emit(Instruction(Op.VLOAD, dest="z2", addr=bufs.right + off))
+            for child, zreg in (("A1", "z1"), ("A2", "z2")):
+                wreg = "w1" if child == "A1" else "w2"
+                for k in range(N_STATES):
+                    prog.emit(Instruction(
+                        Op.VSHUF, dest=f"b{k}", srcs=(zreg,),
+                        pattern=_shuffle_pattern(isa, k),
+                    ))
+                    if k == 0:
+                        prog.emit(Instruction(
+                            Op.VMUL, dest=wreg, srcs=(f"A{child[1]}_{k}_{ch}", f"b{k}")
+                        ))
+                    else:
+                        prog.emit(Instruction(
+                            Op.VFMA, dest=wreg,
+                            srcs=(f"A{child[1]}_{k}_{ch}", f"b{k}", wreg),
+                        ))
+            prog.emit(Instruction(Op.VMUL, dest="vv", srcs=("w1", "w2")))
+            for i in range(N_STATES):
+                prog.emit(Instruction(
+                    Op.VSHUF, dest=f"c{i}", srcs=("vv",),
+                    pattern=_shuffle_pattern(isa, i),
+                ))
+                if i == 0:
+                    prog.emit(Instruction(
+                        Op.VMUL, dest="zo", srcs=(f"UI_{i}_{ch}", f"c{i}")
+                    ))
+                else:
+                    prog.emit(Instruction(
+                        Op.VFMA, dest="zo", srcs=(f"UI_{i}_{ch}", f"c{i}", "zo")
+                    ))
+            prog.emit(Instruction(Op.VSTORE_NT, srcs=("zo",), addr=bufs.out + off))
+    return prog
+
+
+def prepare_tip_consts(
+    vm: VectorMachine,
+    bufs: GammaDnaBuffers,
+    eigen: EigenSystem,
+    rates: np.ndarray,
+    tip_eigen: np.ndarray,
+    t1: float,
+    t2: float,
+) -> None:
+    """Write the per-branch tip lookup tables for the tip-tip kernel.
+
+    ``tip_eigen`` is the 16 x 4 ``tipVector`` table
+    (:func:`repro.core.kernels.tip_eigen_table`); each branch gets the
+    precomputed ``A(t) @ tipVector[code]`` table of shape
+    ``(4 rates, 16 codes, 4 states)`` — 256 doubles, the classic RAxML
+    tip optimisation the paper's kernels index with gathers.
+    """
+    from .kernels import tip_branch_lookup
+
+    for name, t in (("lut1", t1), ("lut2", t2)):
+        a = branch_matrices(eigen, rates, t)
+        lut = tip_branch_lookup(a, tip_eigen)  # (c, m, i)
+        bufs.consts[name] = _write_const_block(vm, lut)
+        bufs.consts[f"{name}_shape"] = lut.shape[1]  # codes per rate
+    # U^-1 back-projection rows (shared with the inner-inner kernel)
+    for i in range(N_STATES):
+        block = np.tile(eigen.u_inv[:, i], N_RATES)
+        bufs.consts[f"ui_{i}"] = _write_const_block(vm, block)
+
+
+def _tip_gather_addrs(
+    base: int, code: int, chunk: int, width: int, n_codes: int
+) -> tuple[int, ...]:
+    """Byte addresses of lanes ``(c, i)`` in a ``(c, code, i)`` table."""
+    addrs = []
+    for lane in range(width):
+        flat = chunk * width + lane  # position within the 16-double block
+        c, i = divmod(flat, N_STATES)
+        index = (c * n_codes + code) * N_STATES + i
+        addrs.append(base + index * 8)
+    return tuple(addrs)
+
+
+def emit_newview_tip_tip(
+    isa: VectorISA,
+    bufs: GammaDnaBuffers,
+    codes1: np.ndarray,
+    codes2: np.ndarray,
+) -> VectorProgram:
+    """``newview`` with two tip children: gathered lookups + projection.
+
+    Per site, both 16-wide post-branch vectors come from the per-branch
+    lookup tables via gather (MIC has hardware ``vgatherd``; on AVX the
+    gather is emulated as scalar loads, which the ISA cost table charges
+    accordingly — part of why tip-heavy traversals vectorise better on
+    the MIC).  Requires :func:`prepare_tip_consts`.
+    """
+    if "lut1" not in bufs.consts:
+        raise ValueError("call prepare_tip_consts first")
+    if codes1.shape[0] != bufs.n_sites or codes2.shape[0] != bufs.n_sites:
+        raise ValueError("per-site tip codes must match the site count")
+    prog = VectorProgram(name=f"newview_tip_tip[{isa.name}]")
+    chunks = _chunks(isa)
+    step = isa.width * 8
+    n_codes = bufs.consts["lut1_shape"]
+    for ch in range(chunks):
+        for i in range(N_STATES):
+            prog.emit(Instruction(
+                Op.VLOAD, dest=f"UI_{i}_{ch}",
+                addr=bufs.consts[f"ui_{i}"] + ch * step,
+            ))
+    for site in range(bufs.n_sites):
+        c1 = int(codes1[site])
+        c2 = int(codes2[site])
+        base = site * BLOCK_DOUBLES * 8
+        for ch in range(chunks):
+            prog.emit(Instruction(
+                Op.VGATHER, dest="w1",
+                addrs=_tip_gather_addrs(
+                    bufs.consts["lut1"], c1, ch, isa.width, n_codes
+                ),
+            ))
+            prog.emit(Instruction(
+                Op.VGATHER, dest="w2",
+                addrs=_tip_gather_addrs(
+                    bufs.consts["lut2"], c2, ch, isa.width, n_codes
+                ),
+            ))
+            prog.emit(Instruction(Op.VMUL, dest="vv", srcs=("w1", "w2")))
+            for i in range(N_STATES):
+                prog.emit(Instruction(
+                    Op.VSHUF, dest=f"c{i}", srcs=("vv",),
+                    pattern=_shuffle_pattern(isa, i),
+                ))
+                if i == 0:
+                    prog.emit(Instruction(
+                        Op.VMUL, dest="zo", srcs=(f"UI_{i}_{ch}", f"c{i}")
+                    ))
+                else:
+                    prog.emit(Instruction(
+                        Op.VFMA, dest="zo", srcs=(f"UI_{i}_{ch}", f"c{i}", "zo")
+                    ))
+            prog.emit(Instruction(
+                Op.VSTORE_NT, srcs=("zo",), addr=bufs.out + base + ch * step
+            ))
+    return prog
+
+
+def prepare_derivative_consts(
+    vm: VectorMachine,
+    bufs: GammaDnaBuffers,
+    eigen: EigenSystem,
+    rates: np.ndarray,
+    rate_weights: np.ndarray,
+    t: float,
+) -> None:
+    """Write the three weighted exponential tables for ``derivativeCore``."""
+    g = np.multiply.outer(rates, eigen.eigenvalues)  # (c, k)
+    e = np.exp(g * t)
+    wc = rate_weights[:, None]
+    bufs.consts["d_e"] = _write_const_block(vm, (wc * e))
+    bufs.consts["d_ge"] = _write_const_block(vm, (wc * g * e))
+    bufs.consts["d_gge"] = _write_const_block(vm, (wc * g * g * e))
+    # staging area for the site-blocked scalar phase (3 x width doubles)
+    bufs.consts["staging"] = vm.alloc(3 * vm.isa.width, align=64)
+
+
+def emit_derivative_core(
+    isa: VectorISA,
+    bufs: GammaDnaBuffers,
+    site_block: int = 8,
+    prefetch_distance: int = 8,
+) -> VectorProgram:
+    """``derivativeCore``: per-site reductions + blocked scalar phase.
+
+    Phase 1 per site: three 16-wide weighted reductions of the sum
+    buffer against the ``exp``-tables give ``l0, l1, l2``.  Phase 2 (the
+    scalar tail the paper blocks, Sec. V-B4): ``l1/l0`` and ``l2/l0`` are
+    needed per site — we stage ``site_block`` sites' scalars in buffers
+    and replace the per-site divisions with two vector divisions per
+    block.  Outputs ``(dlnL, d2lnL)`` are stored at ``scalar_out`` and
+    ``scalar_out + 8``.
+
+    ``site_block=1`` degenerates to the unblocked scalar version (used
+    by the ablation benchmark to show the blocking win).
+    """
+    for key in ("d_e", "d_ge", "d_gge"):
+        if key not in bufs.consts:
+            raise ValueError("call prepare_derivative_consts first")
+    if "weights" not in bufs.consts:
+        raise ValueError("pattern weights required")
+    if site_block not in (1, isa.width):
+        raise ValueError("site_block must be 1 or the vector width")
+    prog = VectorProgram(name=f"derivative_core[{isa.name},block={site_block}]")
+    chunks = _chunks(isa)
+    step = isa.width * 8
+    vm_alloc_staging = bufs.consts.get("staging")
+    if vm_alloc_staging is None:
+        raise ValueError("staging buffer required (alloc 3*width doubles)")
+    stage_l0 = vm_alloc_staging
+    stage_l1 = vm_alloc_staging + isa.width * 8
+    stage_l2 = vm_alloc_staging + 2 * isa.width * 8
+
+    for name, key in (("E0", "d_e"), ("E1", "d_ge"), ("E2", "d_gge")):
+        for ch in range(chunks):
+            prog.emit(Instruction(
+                Op.VLOAD, dest=f"{name}_{ch}", addr=bufs.consts[key] + ch * step
+            ))
+    prog.emit(Instruction(Op.VSET, dest="zero", values=(0.0,) * isa.width))
+    prog.emit(Instruction(Op.HADD, dest="acc1", srcs=("zero",)))
+    prog.emit(Instruction(Op.HADD, dest="acc2", srcs=("zero",)))
+
+    def flush_block(count: int, first_site: int) -> None:
+        """Vector phase over ``count`` staged sites."""
+        if count == 0:
+            return
+        if site_block == 1 or count < isa.width:
+            # scalar fallback (tail or unblocked mode)
+            for j in range(count):
+                prog.emit(Instruction(Op.SLOAD, dest="l0", addr=stage_l0 + j * 8))
+                prog.emit(Instruction(Op.SLOAD, dest="l1", addr=stage_l1 + j * 8))
+                prog.emit(Instruction(Op.SLOAD, dest="l2", addr=stage_l2 + j * 8))
+                prog.emit(Instruction(Op.SDIV, dest="r1", srcs=("l1", "l0")))
+                prog.emit(Instruction(Op.SDIV, dest="r2", srcs=("l2", "l0")))
+                prog.emit(Instruction(
+                    Op.SLOAD, dest="w",
+                    addr=bufs.consts["weights"] + (first_site + j) * 8,
+                ))
+                prog.emit(Instruction(Op.SMUL, dest="wr1", srcs=("w", "r1")))
+                prog.emit(Instruction(Op.SADD, dest="acc1", srcs=("acc1", "wr1")))
+                prog.emit(Instruction(Op.SMUL, dest="r1sq", srcs=("r1", "r1")))
+                # d2 term: w * (r2 - r1^2)
+                prog.emit(Instruction(Op.SMUL, dest="nr1sq", srcs=("r1sq", "mone")))
+                prog.emit(Instruction(Op.SADD, dest="t2", srcs=("r2", "nr1sq")))
+                prog.emit(Instruction(Op.SMUL, dest="wt2", srcs=("w", "t2")))
+                prog.emit(Instruction(Op.SADD, dest="acc2", srcs=("acc2", "wt2")))
+            return
+        # full vector block (Sec. V-B4): 2 VDIVs replace 2*width SDIVs
+        prog.emit(Instruction(Op.VLOAD, dest="vl0", addr=stage_l0))
+        prog.emit(Instruction(Op.VLOAD, dest="vl1", addr=stage_l1))
+        prog.emit(Instruction(Op.VLOAD, dest="vl2", addr=stage_l2))
+        prog.emit(Instruction(Op.VDIV, dest="vr1", srcs=("vl1", "vl0")))
+        prog.emit(Instruction(Op.VDIV, dest="vr2", srcs=("vl2", "vl0")))
+        prog.emit(Instruction(
+            Op.VLOAD, dest="vw", addr=bufs.consts["weights"] + first_site * 8
+        ))
+        prog.emit(Instruction(Op.VMUL, dest="vwr1", srcs=("vw", "vr1")))
+        prog.emit(Instruction(Op.HADD, dest="h1", srcs=("vwr1",)))
+        prog.emit(Instruction(Op.SADD, dest="acc1", srcs=("acc1", "h1")))
+        prog.emit(Instruction(Op.VMUL, dest="vr1sq", srcs=("vr1", "vr1")))
+        prog.emit(Instruction(Op.VSUB, dest="vt2", srcs=("vr2", "vr1sq")))
+        prog.emit(Instruction(Op.VMUL, dest="vwt2", srcs=("vw", "vt2")))
+        prog.emit(Instruction(Op.HADD, dest="h2", srcs=("vwt2",)))
+        prog.emit(Instruction(Op.SADD, dest="acc2", srcs=("acc2", "h2")))
+
+    # constant -1 scalar for the unblocked path (HADD of a one-hot vector)
+    prog.emit(Instruction(
+        Op.VSET, dest="vmone", values=(-1.0,) + (0.0,) * (isa.width - 1)
+    ))
+    prog.emit(Instruction(Op.HADD, dest="mone", srcs=("vmone",)))
+
+    staged = 0
+    block_start = 0
+    for site in range(bufs.n_sites):
+        _emit_prefetches(prog, [bufs.left], site, bufs.n_sites, prefetch_distance)
+        base = site * BLOCK_DOUBLES * 8
+        for qi, ereg in enumerate(("E0", "E1", "E2")):
+            first = True
+            for ch in range(chunks):
+                off = base + ch * step
+                prog.emit(Instruction(Op.VLOAD, dest="d", addr=bufs.left + off))
+                if first:
+                    prog.emit(Instruction(
+                        Op.VMUL, dest="q", srcs=("d", f"{ereg}_{ch}")
+                    ))
+                    first = False
+                else:
+                    prog.emit(Instruction(
+                        Op.VFMA, dest="q", srcs=("d", f"{ereg}_{ch}", "q")
+                    ))
+            prog.emit(Instruction(Op.HADD, dest=f"l{qi}s", srcs=("q",)))
+            prog.emit(Instruction(
+                Op.SSTORE, srcs=(f"l{qi}s",),
+                addr=[stage_l0, stage_l1, stage_l2][qi] + staged * 8,
+            ))
+        staged += 1
+        if staged == site_block or (site == bufs.n_sites - 1):
+            flush_block(staged, block_start)
+            block_start = site + 1
+            staged = 0
+    prog.emit(Instruction(Op.SSTORE, srcs=("acc1",), addr=bufs.scalar_out))
+    prog.emit(Instruction(Op.SSTORE, srcs=("acc2",), addr=bufs.scalar_out + 8))
+    return prog

@@ -1,0 +1,39 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artefact — ``table1``, ``figure2``, ``figure3``,
+``table3``, ``figure4``, ``figure5`` — plus ``ablations`` for the
+qualitative Sec. V findings, ``datasets`` for workloads/traces,
+``paper_values`` for the published numbers, and ``report`` for text
+rendering.  Each module exposes ``compute_*``/``render_*`` functions and
+a ``main()`` console entry point (see ``pyproject.toml``).
+"""
+
+from . import (  # noqa: F401
+    ablations,
+    datasets,
+    export,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    paper_values,
+    report,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ablations",
+    "datasets",
+    "export",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "paper_values",
+    "report",
+    "table1",
+    "table2",
+    "table3",
+]

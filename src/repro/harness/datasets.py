@@ -1,0 +1,71 @@
+"""Benchmark datasets and workload traces (Section VI-A3).
+
+The paper simulates eight DNA alignments with INDELible: 15 taxa,
+10K-4,000K sites.  We expose the same dataset grid through our own
+simulator (:func:`paper_dataset`) plus small-scale stand-ins for
+functional tests, and the trace builder that records the kernel mix of
+a full tree search (:func:`build_default_trace`), which drives all
+trace-based predictions.
+
+Generating the multi-million-site alignments is cheap (vectorised
+simulation), but *searching* them in pure Python is not — which is why
+the performance harness replays traces through the platform models
+instead of timing Python (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from ..perf.trace import DEFAULT_TRACE, KernelTrace, trace_from_search
+from ..phylo.simulate import SimulationResult, simulate_dataset
+from .paper_values import DATASET_SIZES
+
+__all__ = [
+    "DATASET_SIZES",
+    "PAPER_N_TAXA",
+    "paper_dataset",
+    "small_dataset",
+    "build_default_trace",
+    "default_trace",
+]
+
+#: "Since number of taxa has no influence on relative speedups, it is
+#: fixed and equals 15 for all datasets" (Sec. VI-A3).
+PAPER_N_TAXA = 15
+
+
+def paper_dataset(n_sites: int, seed: int = 2014) -> SimulationResult:
+    """One of the paper's eight alignments (15 taxa, ``n_sites`` columns).
+
+    Any width is accepted; the canonical grid is :data:`DATASET_SIZES`.
+    """
+    if n_sites < 1:
+        raise ValueError("n_sites must be positive")
+    return simulate_dataset(n_taxa=PAPER_N_TAXA, n_sites=n_sites, seed=seed)
+
+
+def small_dataset(n_taxa: int = 8, n_sites: int = 500, seed: int = 7) -> SimulationResult:
+    """A functional-test-sized stand-in with the same generative process."""
+    return simulate_dataset(n_taxa=n_taxa, n_sites=n_sites, seed=seed)
+
+
+def build_default_trace(n_sites: int = 1000, seed: int = 2014) -> KernelTrace:
+    """Re-record the default workload trace by running the real search.
+
+    Runs the full ML pipeline on a 15-taxon alignment and extracts the
+    kernel counters; this regenerates
+    :data:`repro.perf.trace.DEFAULT_TRACE` (whose frozen copy keeps the
+    benchmarks deterministic and fast).
+    """
+    from ..search import SearchConfig, ml_search
+
+    sim = paper_dataset(n_sites, seed=seed)
+    result = ml_search(
+        sim.alignment,
+        config=SearchConfig(radii=(5, 10), max_spr_rounds=10, seed=seed),
+    )
+    return trace_from_search(result)
+
+
+def default_trace() -> KernelTrace:
+    """The frozen 15-taxon workload trace used by all predictions."""
+    return DEFAULT_TRACE

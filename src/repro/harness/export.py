@@ -1,0 +1,152 @@
+"""Machine-readable export of every reproduced artefact.
+
+``repro-export`` writes one JSON document containing the data behind
+Tables I–III and Figures 3–5 plus the ablations — for downstream
+plotting or automated comparison against the paper, without scraping
+the text reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["export_results", "main"]
+
+
+def export_results() -> dict:
+    """Collect every artefact's data into one JSON-serialisable dict."""
+    from ..perf.calibration import figure3_residuals
+    from ..perf.platforms import TABLE1_PLATFORMS
+    from ..perf.roofline import roofline_analysis, XEON_E5_2680_2S, XEON_PHI_5110P_1S
+    from .ablations import (
+        flat_vs_hybrid,
+        forkjoin_vs_examl,
+        offload_vs_native,
+        partition_count_sweep,
+        prefetch_distance_sweep,
+        rank_thread_sweep,
+        site_blocking_ablation,
+    )
+    from .figure4 import compute_figure4
+    from .figure5 import compute_figure5, paper_figure5
+    from .paper_values import DATASET_SIZES, TABLE3_SPEEDUPS
+    from .table2 import TABLE2_CONFIGS
+    from .table3 import compute_table3
+
+    table1 = [
+        {
+            "name": p.name,
+            "peak_dp_gflops": p.peak_dp_gflops,
+            "cores": p.cores,
+            "clock_ghz": p.clock_ghz,
+            "memory_gb": p.memory_gb,
+            "memory_bw_gbs": p.memory_bw_gbs,
+            "max_tdp_w": p.max_tdp_w,
+            "approx_price_usd": p.approx_price_usd,
+        }
+        for p in TABLE1_PLATFORMS
+    ]
+    table2 = [
+        {
+            "system": c.system,
+            "linux_kernel": c.linux_kernel,
+            "compiler": c.compiler,
+            "mpi": c.mpi,
+        }
+        for c in TABLE2_CONFIGS
+    ]
+    figure3 = [
+        {
+            "kernel": r.kernel,
+            "model_speedup": r.model_speedup,
+            "paper_speedup": r.paper_speedup,
+            "relative_error": r.relative_error,
+        }
+        for r in figure3_residuals()
+    ]
+    table3 = [
+        {
+            "system": row.system,
+            "sizes": list(DATASET_SIZES),
+            "model_times_s": list(row.times_s),
+            "model_speedups": list(row.speedups),
+            "paper_speedups": list(TABLE3_SPEEDUPS[row.system]),
+        }
+        for row in compute_table3()
+    ]
+    roofline = [
+        {
+            "platform": p.platform,
+            "kernel": p.kernel,
+            "arithmetic_intensity": p.arithmetic_intensity,
+            "ridge_intensity": p.ridge_intensity,
+            "memory_bound": p.memory_bound,
+            "attainable_fraction": p.attainable_fraction,
+        }
+        for spec in (XEON_PHI_5110P_1S, XEON_E5_2680_2S)
+        for p in roofline_analysis(spec)
+    ]
+    offload = offload_vs_native(n_sites=10_000)
+    flat = flat_vs_hybrid()
+    fj = forkjoin_vs_examl()
+    blocking = site_blocking_ablation(n_sites=128)
+    return {
+        "paper": (
+            "Efficient Computation of the Phylogenetic Likelihood Function "
+            "on the Intel MIC Architecture (Kozlov, Goll, Stamatakis, 2014)"
+        ),
+        "table1": table1,
+        "table2": table2,
+        "figure3": figure3,
+        "table3": table3,
+        "figure4": {
+            "sizes": list(DATASET_SIZES),
+            "model": compute_figure4(),
+        },
+        "figure5": {
+            "sizes": list(DATASET_SIZES),
+            "model": compute_figure5(),
+            "paper_derived": paper_figure5(),
+        },
+        "roofline": roofline,
+        "ablations": {
+            "offload_vs_native_10k": offload.ratio,
+            "flat_mpi_vs_hybrid_100k": flat.ratio,
+            "forkjoin_vs_examl_100k": fj.ratio,
+            "site_blocking": blocking.ratio,
+            "prefetch_distance_cycles_per_site": {
+                str(k): v
+                for k, v in prefetch_distance_sweep(
+                    distances=(0, 2, 8), n_sites=256
+                ).items()
+            },
+            "partition_count_seconds": {
+                str(k): v for k, v in partition_count_sweep().items()
+            },
+            "rank_thread_seconds": {
+                f"{r}x{t}": v for (r, t), v in rank_thread_sweep().items()
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write the consolidated results JSON (console entry point)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-export", description="export artefact data as JSON"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results.json"),
+        help="output path (default: results.json)",
+    )
+    args = parser.parse_args(argv)
+    args.out.write_text(json.dumps(export_results(), indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

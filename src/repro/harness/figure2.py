@@ -1,0 +1,92 @@
+"""Regenerate Figure 2: pragmas vs intrinsics produce identical code.
+
+The paper's Figure 2 shows the ``derivativeSum`` inner loop —
+``sum[l] = left[l] * right[l]`` over 16 doubles — written (a) as a plain
+loop with ``#pragma ivdep`` + ``#pragma vector aligned`` and (b) with
+``_mm512`` intrinsics, compiling to the *same* assembly (c).  We
+reproduce the experiment on the simulated MIC ISA: the auto-vectorizer
+and the intrinsics builder must emit literally identical instruction
+streams, and both must compute the correct product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mic.compiler import ArrayRef, Intrinsics, Loop, auto_vectorize
+from ..mic.isa import MIC512
+from ..mic.vm import VectorMachine, VectorProgram
+from ..mic.device import xeon_phi_device
+
+__all__ = ["figure2_programs", "render_figure2", "main"]
+
+
+def figure2_programs(
+    vm: VectorMachine | None = None,
+) -> tuple[VectorProgram, VectorProgram, VectorMachine, dict[str, int]]:
+    """Build both Figure 2 variants over the same VM buffers.
+
+    Returns ``(pragma_program, intrinsics_program, vm, arrays)``.
+    """
+    vm = vm or xeon_phi_device().make_vm()
+    arrays = {
+        "left": vm.alloc(16),
+        "right": vm.alloc(16),
+        "sum": vm.alloc(16),
+    }
+
+    # (a) pragma-annotated loop, auto-vectorized
+    loop = Loop(
+        n=16, dst="sum", expr=ArrayRef("left") * ArrayRef("right")
+    ).with_pragmas("ivdep", "vector aligned")
+    pragma_prog, report = auto_vectorize(loop, arrays, MIC512, name="figure2-pragma")
+    if not report.vectorized:
+        raise AssertionError(f"auto-vectorization failed: {report.reason}")
+
+    # (b) hand-written intrinsics, statement-per-chunk like the paper's listing
+    intr = Intrinsics(MIC512, name="figure2-intrinsics")
+    for off in (0, 8):
+        intr.reset_registers()
+        l_reg = intr.load_pd(arrays["left"] + off * 8)
+        r_reg = intr.load_pd(arrays["right"] + off * 8)
+        s_reg = intr.mul_pd(l_reg, r_reg)
+        intr.store_pd(arrays["sum"] + off * 8, s_reg)
+    return pragma_prog, intr.program, vm, arrays
+
+
+def render_figure2() -> str:
+    """Render the Figure 2 comparison (both listings + verdicts)."""
+    pragma_prog, intr_prog, vm, arrays = figure2_programs()
+    rng = np.random.default_rng(42)
+    left = rng.uniform(0.1, 1.0, 16)
+    right = rng.uniform(0.1, 1.0, 16)
+    vm.write_array(arrays["left"], left)
+    vm.write_array(arrays["right"], right)
+    vm.run(pragma_prog)
+    result = vm.read_array(arrays["sum"], 16)
+    identical = pragma_prog.disassembly() == intr_prog.disassembly()
+    correct = np.allclose(result, left * right, rtol=1e-15)
+    lines = [
+        "Figure 2: pragma-vectorized loop vs compiler intrinsics",
+        "=" * 55,
+        "",
+        "(a) #pragma ivdep + #pragma vector aligned loop  ->",
+    ]
+    lines += [f"    {s}" for s in pragma_prog.disassembly()]
+    lines += ["", "(b) _mm512 intrinsics  ->"]
+    lines += [f"    {s}" for s in intr_prog.disassembly()]
+    lines += [
+        "",
+        f"instruction streams identical: {identical}",
+        f"numerical result correct:      {correct}",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print Figure 2 (console entry point)."""
+    print(render_figure2())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Regenerate Figure 3: per-kernel MIC speedups over the CPU baseline.
+
+Two layers are reported side by side:
+
+* **VM-measured** — raw cycle ratios from executing the vectorized
+  kernels on the simulated MIC and AVX machines, scaled by the
+  platforms' core counts and clocks.  No calibration applied.
+* **Model** — the roofline cost model including the calibrated KNC
+  pipeline-efficiency factors (see :mod:`repro.perf.calibration`), the
+  numbers all downstream predictions (Table III etc.) use.
+
+The paper's published values are printed alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.calibration import PAPER_FIGURE3
+from ..perf.costmodel import KERNELS, CostModel, measure_kernel_cycles
+from ..perf.platforms import XEON_E5_2680_2S, XEON_PHI_5110P_1S
+from .report import format_table
+
+__all__ = ["KernelSpeedup", "figure3_speedups", "render_figure3", "main"]
+
+
+@dataclass(frozen=True)
+class KernelSpeedup:
+    kernel: str
+    vm_measured: float
+    model: float
+    paper: float
+
+
+def figure3_speedups(sites: int = 1_000_000) -> list[KernelSpeedup]:
+    """Per-kernel speedups (MIC vs 2S E5-2680) from VM and model."""
+    cpu_spec, mic_spec = XEON_E5_2680_2S, XEON_PHI_5110P_1S
+    cpu_meas = measure_kernel_cycles("avx256")
+    mic_meas = measure_kernel_cycles("mic512")
+    cpu_model = CostModel(cpu_spec)
+    mic_model = CostModel(mic_spec)
+    out = []
+    for kernel in KERNELS:
+        cpu_cyc = max(
+            cpu_meas[kernel].issue_cycles_per_site,
+            cpu_meas[kernel].dram_bytes_per_site / cpu_spec.bytes_per_cycle_per_core,
+        )
+        mic_cyc = max(
+            mic_meas[kernel].issue_cycles_per_site,
+            mic_meas[kernel].dram_bytes_per_site / mic_spec.bytes_per_cycle_per_core,
+        )
+        vm_ratio = (cpu_cyc / (cpu_spec.clock_ghz * cpu_spec.cores)) / (
+            mic_cyc / (mic_spec.clock_ghz * mic_spec.cores)
+        )
+        out.append(
+            KernelSpeedup(
+                kernel=kernel,
+                vm_measured=vm_ratio,
+                model=mic_model.kernel_speedup_vs(cpu_model, kernel, sites),
+                paper=PAPER_FIGURE3[kernel],
+            )
+        )
+    return out
+
+
+def render_figure3() -> str:
+    """Render the Figure 3 table (VM, model, paper side by side)."""
+    rows = [
+        [s.kernel, s.vm_measured, s.model, s.paper]
+        for s in figure3_speedups()
+    ]
+    return format_table(
+        ["kernel", "VM-measured", "model (calibrated)", "paper"],
+        rows,
+        title="Figure 3: PLF kernel speedups, 1S Xeon Phi vs 2S E5-2680",
+    )
+
+
+def main() -> None:
+    """Print Figure 3 (console entry point)."""
+    print(render_figure3())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Regenerate Figure 4: relative speedup of 2 MICs vs 1 MIC.
+
+Derived from the same trace-driven predictions as Table III: the ratio
+of the single-card to dual-card runtimes per dataset size.  The paper's
+curve grows with alignment size toward ~1.84x — sub-linear because each
+card processes half the sites (losing per-card efficiency) and every
+reduction crosses the PCIe bus (Sec. VI-B3).
+"""
+
+from __future__ import annotations
+
+from ..parallel.examl import ExaMLModel
+from ..parallel.hybrid import examl_mic_hybrid
+from ..perf.platforms import XEON_PHI_5110P_1S, XEON_PHI_5110P_2S
+from ..perf.trace import KernelTrace
+from .datasets import default_trace
+from .paper_values import DATASET_SIZES, FIGURE4_TWO_MIC_SPEEDUP
+from .report import format_series, format_size
+
+__all__ = ["compute_figure4", "render_figure4", "main"]
+
+
+def compute_figure4(
+    trace: KernelTrace | None = None,
+    sizes: tuple[int, ...] = DATASET_SIZES,
+) -> list[float]:
+    """2-card over 1-card speedup per dataset size."""
+    trace = trace or default_trace()
+    one = ExaMLModel(XEON_PHI_5110P_1S, examl_mic_hybrid(n_cards=1))
+    two = ExaMLModel(XEON_PHI_5110P_2S, examl_mic_hybrid(n_cards=2))
+    return [
+        one.predict(trace, s).total_s / two.predict(trace, s).total_s
+        for s in sizes
+    ]
+
+
+def render_figure4(trace: KernelTrace | None = None) -> str:
+    """Render the Figure 4 series (model vs paper)."""
+    model = compute_figure4(trace)
+    return format_series(
+        [format_size(s) for s in DATASET_SIZES],
+        {
+            "model": model,
+            "paper": list(FIGURE4_TWO_MIC_SPEEDUP),
+        },
+        title="Figure 4: relative speedup of 2 MICs vs 1 MIC",
+    )
+
+
+def main() -> None:
+    """Print Figure 4 (console entry point)."""
+    print(render_figure4())
+
+
+if __name__ == "__main__":
+    main()

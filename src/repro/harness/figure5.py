@@ -1,0 +1,84 @@
+"""Regenerate Figure 5: relative energy savings vs the CPU baseline.
+
+Applies the paper's estimator ``E = MaxTDP x t / 3600`` to the Table III
+runtime predictions and normalises to the 2S E5-2680.  Expected shape
+(Sec. VI-B4): the single MIC crosses parity around 100K sites and
+saturates near 2.3x savings; the dual-MIC setup is less efficient than
+one card everywhere (communication waste) but still beats the CPUs
+above ~500K sites.
+"""
+
+from __future__ import annotations
+
+from ..parallel.examl import ExaMLModel
+from ..perf.energy import relative_energy_savings
+from ..perf.platforms import XEON_E5_2680_2S
+from ..perf.trace import KernelTrace
+from .datasets import default_trace
+from .paper_values import DATASET_SIZES, TABLE3_TIMES_S
+from .report import format_series, format_size
+from .table3 import table3_systems
+
+__all__ = ["compute_figure5", "paper_figure5", "render_figure5", "main"]
+
+
+def compute_figure5(
+    trace: KernelTrace | None = None,
+    sizes: tuple[int, ...] = DATASET_SIZES,
+) -> dict[str, list[float]]:
+    """Relative energy savings per system per dataset size (model)."""
+    trace = trace or default_trace()
+    from ..parallel.hybrid import examl_cpu
+
+    baseline_model = ExaMLModel(XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S))
+    base_times = {s: baseline_model.predict(trace, s).total_s for s in sizes}
+    out: dict[str, list[float]] = {}
+    for spec, config in table3_systems():
+        model = ExaMLModel(spec, config)
+        out[spec.name] = [
+            relative_energy_savings(
+                spec, model.predict(trace, s).total_s, base_times[s]
+            )
+            for s in sizes
+        ]
+    return out
+
+
+def paper_figure5(sizes: tuple[int, ...] = DATASET_SIZES) -> dict[str, list[float]]:
+    """The paper's Figure 5 values, derived from its Table III + TDPs."""
+    from ..perf.platforms import TABLE1_PLATFORMS
+
+    specs = {p.name: p for p in TABLE1_PLATFORMS}
+    base = TABLE3_TIMES_S["2S Xeon E5-2680"]
+    out: dict[str, list[float]] = {}
+    for name, times in TABLE3_TIMES_S.items():
+        spec = specs[name]
+        out[name] = [
+            relative_energy_savings(spec, t, b) for t, b in zip(times, base)
+        ]
+    return out
+
+
+def render_figure5(trace: KernelTrace | None = None) -> str:
+    """Render the Figure 5 series (model vs paper, all systems)."""
+    model = compute_figure5(trace)
+    paper = paper_figure5()
+    labels = [format_size(s) for s in DATASET_SIZES]
+    series: dict[str, list[float]] = {}
+    for name in model:
+        series[name] = model[name]
+        series[f"  (paper) {name}"] = paper[name]
+    return format_series(
+        labels,
+        series,
+        title="Figure 5: relative energy savings vs 2S E5-2680 (model vs paper)",
+    )
+
+
+def main() -> None:
+    """Print Figure 5 (console entry point)."""
+    print(render_figure5())
+
+
+if __name__ == "__main__":
+    main()

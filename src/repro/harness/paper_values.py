@@ -1,0 +1,69 @@
+"""The paper's published evaluation numbers, for side-by-side reporting.
+
+Transcribed from the paper (HiCOMB/IPDPS-W 2014): Table III's execution
+times and speedups, Figure 3's per-kernel speedups, and the derived
+Figure 4 / Figure 5 series.  Used by the harness and benchmarks to
+report model-vs-paper deltas; never used as an input to any model.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DATASET_SIZES",
+    "TABLE3_TIMES_S",
+    "TABLE3_SPEEDUPS",
+    "FIGURE3_KERNEL_SPEEDUPS",
+    "FIGURE4_TWO_MIC_SPEEDUP",
+    "PAPER_ALLREDUCE_LATENCY",
+]
+
+#: Table III's column heads: alignment patterns.
+DATASET_SIZES = (
+    10_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    4_000_000,
+)
+
+#: Table III: inference times in seconds per system and dataset size.
+TABLE3_TIMES_S: dict[str, tuple[float, ...]] = {
+    "2S Xeon E5-2630": (5.6, 32.4, 93.5, 183.0, 372.0, 753.0, 1465.0, 2965.0),
+    "2S Xeon E5-2680": (4.1, 24.0, 66.9, 148.0, 312.0, 633.0, 1237.0, 2494.0),
+    "1S Xeon Phi 5110P": (12.9, 29.7, 65.6, 101.0, 176.0, 328.0, 619.0, 1228.0),
+    "2S Xeon Phi 5110P": (18.7, 32.0, 54.4, 72.0, 122.0, 203.0, 354.0, 667.0),
+}
+
+#: Table III: speedups relative to the 2S E5-2680 baseline.
+TABLE3_SPEEDUPS: dict[str, tuple[float, ...]] = {
+    "2S Xeon E5-2630": (0.73, 0.74, 0.72, 0.81, 0.84, 0.84, 0.84, 0.84),
+    "2S Xeon E5-2680": (1.0,) * 8,
+    "1S Xeon Phi 5110P": (0.32, 0.81, 1.02, 1.47, 1.77, 1.93, 2.00, 2.03),
+    "2S Xeon Phi 5110P": (0.22, 0.75, 1.23, 2.06, 2.56, 3.12, 3.49, 3.74),
+}
+
+#: Figure 3: kernel speedups of the MIC port vs the AVX CPU baseline.
+FIGURE3_KERNEL_SPEEDUPS: dict[str, float] = {
+    "newview": 2.0,
+    "evaluate": 1.9,
+    "derivative_sum": 2.8,
+    "derivative_core": 2.0,
+}
+
+#: Figure 4 (derived from Table III): 2-MIC over 1-MIC runtime ratios.
+FIGURE4_TWO_MIC_SPEEDUP: tuple[float, ...] = tuple(
+    round(a / b, 2)
+    for a, b in zip(
+        TABLE3_TIMES_S["1S Xeon Phi 5110P"], TABLE3_TIMES_S["2S Xeon Phi 5110P"]
+    )
+)
+
+#: Sec. VI-B3 latency measurements (seconds).
+PAPER_ALLREDUCE_LATENCY = {
+    "mic-mic-impi-4.1.2": 20e-6,
+    "mic-mic-impi-4.0.3": 35e-6,
+    "ib-qlogic-nodes": 5e-6,
+}

@@ -1,0 +1,62 @@
+"""Fixed-width text rendering helpers for harness output.
+
+The harness prints the paper's tables and figure series as aligned text
+so runs are diffable and readable in CI logs; nothing here affects the
+computed numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_size"]
+
+
+def format_size(n_sites: int) -> str:
+    """Dataset label in the paper's style: ``10K``, ``4000K``."""
+    return f"{n_sites // 1000}K"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        out_row = []
+        for cell in row:
+            if isinstance(cell, float):
+                out_row.append(float_fmt.format(cell))
+            else:
+                out_row.append(str(cell))
+        rendered.append(out_row)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render named series against shared x labels (text 'figure')."""
+    headers = ["series", *x_labels]
+    rows = [[name, *values] for name, values in series.items()]
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,75 @@
+"""Regenerate Table I: platform specifications.
+
+Purely declarative — the table *is* :mod:`repro.perf.platforms`; this
+module renders it in the paper's layout and derives the price/TDP
+comparisons quoted in Sec. VI-A1 (the 2S E5-2680 costs ~30% more and
+budgets ~15% more power than one Phi 5110P).
+"""
+
+from __future__ import annotations
+
+from ..perf.platforms import TABLE1_PLATFORMS, XEON_E5_2680_2S, XEON_PHI_5110P_1S
+from .report import format_table
+
+__all__ = ["table1_rows", "render_table1", "baseline_premiums", "main"]
+
+
+def table1_rows() -> list[list[object]]:
+    """Rows in Table I's column order."""
+    rows: list[list[object]] = []
+    for p in TABLE1_PLATFORMS:
+        rows.append(
+            [
+                p.name,
+                int(p.peak_dp_gflops),
+                p.cores,
+                f"{p.clock_ghz:.3f} GHz",
+                f"{p.memory_gb:.0f} GB",
+                f"{p.memory_bw_gbs:.1f} GB/s",
+                f"{p.max_tdp_w:.0f} W",
+                f"$ {p.approx_price_usd:.0f}",
+            ]
+        )
+    return rows
+
+
+def baseline_premiums() -> dict[str, float]:
+    """Price and TDP premium of the CPU baseline over one Phi 5110P."""
+    cpu, phi = XEON_E5_2680_2S, XEON_PHI_5110P_1S
+    return {
+        "price_premium": cpu.approx_price_usd / phi.approx_price_usd - 1.0,
+        "tdp_premium": cpu.max_tdp_w / phi.max_tdp_w - 1.0,
+    }
+
+
+def render_table1() -> str:
+    """Render Table I plus the derived price/TDP premiums."""
+    text = format_table(
+        [
+            "(Co-)processor",
+            "Peak DP GFLOPS",
+            "Cores",
+            "Clock",
+            "Memory",
+            "Memory BW",
+            "Max TDP",
+            "Approx. price",
+        ],
+        table1_rows(),
+        title="Table I: Specifications of CPUs and accelerators",
+    )
+    prem = baseline_premiums()
+    text += (
+        f"\n\nBaseline premium over 1S Phi 5110P: price +{prem['price_premium']:.0%},"
+        f" TDP +{prem['tdp_premium']:.0%} (paper: ~30% and ~15%)"
+    )
+    return text
+
+
+def main() -> None:
+    """Print Table I (console entry point)."""
+    print(render_table1())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Regenerate Table III: ExaML execution times and speedups.
+
+Trace-driven prediction: the kernel mix of a real full tree search
+(:func:`repro.harness.datasets.default_trace`) is replayed through each
+platform's cost model under the paper's run configurations — pure MPI
+with one rank per core on the CPUs, hybrid 2 ranks x 118 threads per
+MIC card — across the eight dataset sizes.  Absolute times differ from
+the paper's (our traced search performs fewer kernel calls than
+RAxML-Light/ExaML's production search settings), so the headline
+comparison is the *speedup* rows, where the call-count scale cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.examl import ExaMLModel, RunPrediction
+from ..parallel.hybrid import ParallelConfig, examl_cpu, examl_mic_hybrid
+from ..perf.platforms import (
+    PlatformSpec,
+    XEON_E5_2630_2S,
+    XEON_E5_2680_2S,
+    XEON_PHI_5110P_1S,
+    XEON_PHI_5110P_2S,
+)
+from ..perf.trace import KernelTrace
+from .datasets import default_trace
+from .paper_values import DATASET_SIZES, TABLE3_SPEEDUPS
+from .report import format_size, format_table
+
+__all__ = ["Table3Row", "table3_systems", "compute_table3", "render_table3", "main"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    system: str
+    times_s: tuple[float, ...]
+    speedups: tuple[float, ...]
+    paper_speedups: tuple[float, ...]
+
+
+def table3_systems() -> list[tuple[PlatformSpec, ParallelConfig]]:
+    """The four systems of Table III with their run configurations."""
+    return [
+        (XEON_E5_2630_2S, examl_cpu(XEON_E5_2630_2S)),
+        (XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S)),
+        (XEON_PHI_5110P_1S, examl_mic_hybrid(n_cards=1)),
+        (XEON_PHI_5110P_2S, examl_mic_hybrid(n_cards=2)),
+    ]
+
+
+def compute_table3(
+    trace: KernelTrace | None = None,
+    sizes: tuple[int, ...] = DATASET_SIZES,
+) -> list[Table3Row]:
+    """Predict times and speedups for all four systems and sizes."""
+    trace = trace or default_trace()
+    systems = table3_systems()
+    baseline_model = ExaMLModel(XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S))
+    base_times = {s: baseline_model.predict(trace, s).total_s for s in sizes}
+    rows = []
+    for spec, config in systems:
+        model = ExaMLModel(spec, config)
+        preds: list[RunPrediction] = [model.predict(trace, s) for s in sizes]
+        times = tuple(p.total_s for p in preds)
+        speedups = tuple(base_times[s] / t for s, t in zip(sizes, times))
+        rows.append(
+            Table3Row(
+                system=spec.name,
+                times_s=times,
+                speedups=speedups,
+                paper_speedups=TABLE3_SPEEDUPS[spec.name],
+            )
+        )
+    return rows
+
+
+def render_table3(trace: KernelTrace | None = None) -> str:
+    """Render both Table III panels (times and speedups vs paper)."""
+    rows = compute_table3(trace)
+    sizes = [format_size(s) for s in DATASET_SIZES]
+    time_rows = [[r.system, *r.times_s] for r in rows]
+    speedup_rows = []
+    for r in rows:
+        speedup_rows.append([r.system, *r.speedups])
+        speedup_rows.append(["  (paper)", *r.paper_speedups])
+    out = format_table(
+        ["system", *sizes],
+        time_rows,
+        title="Table III (a): predicted ExaML inference times [s]",
+        float_fmt="{:.1f}",
+    )
+    out += "\n\n"
+    out += format_table(
+        ["system", *sizes],
+        speedup_rows,
+        title="Table III (b): speedups vs 2S Xeon E5-2680 (model vs paper)",
+    )
+    return out
+
+
+def main() -> None:
+    """Print Table III (console entry point)."""
+    print(render_table3())
+
+
+if __name__ == "__main__":
+    main()

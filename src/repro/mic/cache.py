@@ -1,0 +1,253 @@
+"""Set-associative cache model with LRU replacement.
+
+Models the part of the memory hierarchy the paper's optimisations
+interact with: per-core L1/L2 (the MIC has a private 512 KB L2 per core,
+Sec. III-A), streaming-store no-read-for-ownership behaviour
+(Sec. V-B5), and the distinction between demand misses (which stall the
+in-order core for the DRAM latency unless prefetched) and bandwidth
+traffic (which bounds throughput from below).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .memory import CACHE_LINE, DramModel
+
+__all__ = ["CacheLevel", "AccessResult", "MemoryHierarchy", "MemoryStats"]
+
+
+class CacheLevel:
+    """One set-associative, write-allocate, LRU cache level."""
+
+    def __init__(self, name: str, size_bytes: int, associativity: int) -> None:
+        if size_bytes % (associativity * CACHE_LINE):
+            raise ValueError("cache size must be a multiple of assoc * line")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.n_sets = size_bytes // (associativity * CACHE_LINE)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line: int) -> OrderedDict[int, bool]:
+        return self._sets[line % self.n_sets]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for a line, updating LRU order and hit/miss counters."""
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> tuple[int, bool] | None:
+        """Insert a line; returns an evicted ``(line, dirty)`` or ``None``."""
+        s = self._set_of(line)
+        if line in s:
+            s[line] = s[line] or dirty
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.associativity:
+            victim = s.popitem(last=False)
+        s[line] = dirty
+        return victim
+
+    def mark_dirty(self, line: int) -> None:
+        s = self._set_of(line)
+        if line in s:
+            s[line] = True
+
+    def contains(self, line: int) -> bool:
+        return line in self._set_of(line)
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory access: stall cycles + DRAM traffic bytes."""
+
+    stall_cycles: float
+    dram_read_bytes: int
+    dram_write_bytes: int
+    level: str  # "L1" | "L2" | "DRAM"
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated memory-system counters for a VM run."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    dram_accesses: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    stall_cycles: float = 0.0
+    prefetch_hits: int = 0
+    prefetch_late: int = 0
+    writebacks: int = 0
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+class MemoryHierarchy:
+    """Per-core L1 + L2 + DRAM with prefetch-aware demand-miss stalls.
+
+    ``access`` returns the stall contribution of one load/store; the VM
+    accumulates stalls into its cycle count and traffic into the
+    bandwidth roofline.  Software prefetches are registered with the
+    cycle at which they were issued: a later demand miss to the same
+    line stalls only for the *remaining* latency (this is what makes the
+    prefetch-distance ablation of Sec. V-B6 meaningful).
+    """
+
+    def __init__(
+        self,
+        l1: CacheLevel,
+        l2: CacheLevel,
+        dram: DramModel,
+        l2_latency_cycles: float = 15.0,
+        hw_prefetch_streams: int = 16,
+    ) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.dram = dram
+        self.l2_latency_cycles = l2_latency_cycles
+        self.stats = MemoryStats()
+        # software prefetch: line -> issue cycle
+        self._sw_prefetched: dict[int, float] = {}
+        # hardware (L2 streamer) prefetcher: remembers recent miss lines
+        # and treats line N as covered once lines N-1 and N-2 missed —
+        # a 2-miss training window like real next-line streamers.
+        self._recent_misses: OrderedDict[int, None] = OrderedDict()
+        self._hw_streams = hw_prefetch_streams
+        self.hw_prefetch_enabled = True
+
+    # ------------------------------------------------------------------
+    def register_prefetch(self, addr: int, now: float) -> None:
+        """Record a software ``PREFETCH`` for the line containing ``addr``."""
+        self._sw_prefetched.setdefault(addr // CACHE_LINE, now)
+
+    def _hw_covered(self, line: int) -> bool:
+        if not self.hw_prefetch_enabled:
+            return False
+        return (line - 1) in self._recent_misses and (line - 2) in self._recent_misses
+
+    def _note_miss(self, line: int) -> None:
+        self._recent_misses[line] = None
+        while len(self._recent_misses) > 4 * self._hw_streams:
+            self._recent_misses.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        now: float,
+        nontemporal: bool = False,
+    ) -> AccessResult:
+        """One load/store of ``size`` bytes at byte address ``addr``."""
+        first = addr // CACHE_LINE
+        last = (addr + size - 1) // CACHE_LINE
+        stall = 0.0
+        rd = wr = 0
+        level = "L1"
+        for line in range(first, last + 1):
+            r = self._access_line(line, is_write, now, nontemporal)
+            stall += r.stall_cycles
+            rd += r.dram_read_bytes
+            wr += r.dram_write_bytes
+            if r.level == "DRAM" or (r.level == "L2" and level == "L1"):
+                level = r.level
+        self.stats.stall_cycles += stall
+        self.stats.dram_read_bytes += rd
+        self.stats.dram_write_bytes += wr
+        return AccessResult(stall, rd, wr, level)
+
+    def _access_line(
+        self, line: int, is_write: bool, now: float, nontemporal: bool
+    ) -> AccessResult:
+        if nontemporal and is_write:
+            # Streaming store: bypass caches, write-combine a full line,
+            # no RFO read, no stall (fire-and-forget through WC buffers).
+            self.stats.dram_accesses += 1
+            return AccessResult(0.0, 0, CACHE_LINE, "DRAM")
+
+        if self.l1.lookup(line):
+            self.stats.l1_hits += 1
+            if is_write:
+                self.l1.mark_dirty(line)
+            return AccessResult(0.0, 0, 0, "L1")
+
+        if self.l2.lookup(line):
+            self.stats.l2_hits += 1
+            self._fill_l1(line, is_write)
+            # L2 hit latency is partially hidden by the second hardware
+            # thread; charge half (stores don't stall at all).
+            stall = 0.0 if is_write else self.l2_latency_cycles / 2.0
+            return AccessResult(stall, 0, 0, "L2")
+
+        # DRAM
+        self.stats.dram_accesses += 1
+        covered = self._hw_covered(line)
+        self._note_miss(line)
+        stall = 0.0
+        if not is_write:
+            issued = self._sw_prefetched.pop(line, None)
+            if issued is not None:
+                elapsed = now - issued
+                remaining = max(0.0, self.dram.latency_cycles - elapsed)
+                if remaining == 0.0:
+                    self.stats.prefetch_hits += 1
+                else:
+                    self.stats.prefetch_late += 1
+                stall = remaining
+            elif covered:
+                self.stats.prefetch_hits += 1
+                stall = 0.0
+            else:
+                stall = self.dram.latency_cycles
+        read_bytes = CACHE_LINE  # fill (RFO read for a write-allocate store)
+        write_bytes = 0
+        wb = self._fill_l2(line, dirty=is_write)
+        write_bytes += wb
+        write_bytes += self._fill_l1(line, is_write)
+        return AccessResult(stall, read_bytes, write_bytes, "DRAM")
+
+    def _fill_l1(self, line: int, is_write: bool) -> int:
+        victim = self.l1.fill(line, dirty=is_write)
+        if victim is not None and victim[1]:
+            # dirty L1 eviction lands in L2
+            self.l2.fill(victim[0], dirty=True)
+        return 0
+
+    def _fill_l2(self, line: int, dirty: bool) -> int:
+        victim = self.l2.fill(line, dirty=dirty)
+        if victim is not None and victim[1]:
+            self.stats.writebacks += 1
+            self.stats.dram_accesses += 1
+            return CACHE_LINE
+        return 0
+
+    def flush(self) -> None:
+        """Clear all cached state (between independent measurements)."""
+        self.l1.flush()
+        self.l2.flush()
+        self._sw_prefetched.clear()
+        self._recent_misses.clear()
+        self.stats = MemoryStats()

@@ -1,0 +1,274 @@
+"""Loop auto-vectorizer and intrinsics builder (the paper's Figure 2).
+
+Section V-B1 shows two routes to the same machine code for the
+``derivativeSum`` inner loop: ``#pragma ivdep`` + ``#pragma vector
+aligned`` on a plain C loop, or explicit ``_mm512_*`` compiler
+intrinsics — and demonstrates that icc emits the *identical* assembly
+for both.  This module reproduces that demonstration on our ISA:
+
+* :func:`auto_vectorize` compiles a tiny loop IR (element-wise
+  expressions over arrays) into a :class:`VectorProgram`, but only when
+  the paper's vectorization conditions hold — innermost counted loop,
+  ``ivdep`` promising no dependencies, ``vector aligned`` promising
+  alignment, trip count a multiple of the vector width; otherwise it
+  falls back to scalar code (the "recompile with -mmic and hope"
+  baseline whose slowness motivates Sec. V-B).
+* :class:`Intrinsics` is a thin builder with the ``_mm512``-style
+  vocabulary (``load_pd``, ``mul_pd``, ``fmadd_pd``, ``store_pd``,
+  ``stream_pd``) emitting into the same program representation.
+
+Equality of the two instruction streams is asserted by the Figure 2
+harness and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Instruction, Op, VectorISA
+from .vm import VectorProgram
+
+__all__ = [
+    "ArrayRef",
+    "BinExpr",
+    "Loop",
+    "Pragma",
+    "auto_vectorize",
+    "Intrinsics",
+    "VectorizationReport",
+]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``name[i]`` — an array indexed by the loop variable."""
+
+    name: str
+
+    def __mul__(self, other: "ArrayRef | BinExpr") -> "BinExpr":
+        return BinExpr("mul", self, other)
+
+    def __add__(self, other: "ArrayRef | BinExpr") -> "BinExpr":
+        return BinExpr("add", self, other)
+
+    def __sub__(self, other: "ArrayRef | BinExpr") -> "BinExpr":
+        return BinExpr("sub", self, other)
+
+
+@dataclass(frozen=True)
+class BinExpr:
+    """Binary element-wise expression over array references."""
+
+    kind: str  # "mul" | "add" | "sub" | "fma"
+    lhs: "ArrayRef | BinExpr"
+    rhs: "ArrayRef | BinExpr"
+
+    def __add__(self, other: "ArrayRef | BinExpr") -> "BinExpr":
+        # a * b + c folds into an FMA candidate
+        if self.kind == "mul" and isinstance(other, ArrayRef):
+            return BinExpr("fma", self, other)
+        return BinExpr("add", self, other)
+
+    def __mul__(self, other: "ArrayRef | BinExpr") -> "BinExpr":
+        return BinExpr("mul", self, other)
+
+
+class Pragma(str):
+    """Compiler hints: ``ivdep``, ``vector aligned``, ``vector nontemporal``."""
+
+
+@dataclass
+class Loop:
+    """``for (i = 0; i < n; i++) dst[i] = expr;`` with optional pragmas."""
+
+    n: int
+    dst: str
+    expr: ArrayRef | BinExpr
+    pragmas: frozenset[str] = frozenset()
+    innermost: bool = True
+
+    def with_pragmas(self, *pragmas: str) -> "Loop":
+        return Loop(self.n, self.dst, self.expr, frozenset(pragmas), self.innermost)
+
+
+@dataclass
+class VectorizationReport:
+    """Why a loop was or wasn't vectorized (icc's ``-vec-report`` analogue)."""
+
+    vectorized: bool
+    reason: str
+
+
+def _expr_arrays(expr: ArrayRef | BinExpr) -> list[str]:
+    if isinstance(expr, ArrayRef):
+        return [expr.name]
+    return _expr_arrays(expr.lhs) + _expr_arrays(expr.rhs)
+
+
+def can_vectorize(loop: Loop, isa: VectorISA) -> VectorizationReport:
+    """Apply the paper's conditions for successful auto-vectorization."""
+    if not loop.innermost:
+        return VectorizationReport(False, "not the innermost loop")
+    if "ivdep" not in loop.pragmas:
+        # The compiler must assume dst may alias a source.
+        if loop.dst in _expr_arrays(loop.expr):
+            return VectorizationReport(
+                False, "assumed dependency between input and output vectors"
+            )
+        return VectorizationReport(
+            False, "possible data dependency (add '#pragma ivdep')"
+        )
+    if "vector aligned" not in loop.pragmas:
+        return VectorizationReport(
+            False, "unknown alignment (add '#pragma vector aligned')"
+        )
+    if loop.n % isa.width:
+        return VectorizationReport(
+            False, f"trip count {loop.n} not a multiple of width {isa.width}"
+        )
+    return VectorizationReport(True, "vectorized")
+
+
+def _emit_expr(
+    prog: VectorProgram,
+    expr: ArrayRef | BinExpr,
+    arrays: dict[str, int],
+    offset_bytes: int,
+    fresh: list[int],
+) -> str:
+    """Emit vector code computing ``expr`` at ``offset``; returns register."""
+    if isinstance(expr, ArrayRef):
+        reg = f"v{fresh[0]}"
+        fresh[0] += 1
+        prog.emit(
+            Instruction(Op.VLOAD, dest=reg, addr=arrays[expr.name] + offset_bytes)
+        )
+        return reg
+    if expr.kind == "fma":
+        assert isinstance(expr.lhs, BinExpr) and expr.lhs.kind == "mul"
+        a = _emit_expr(prog, expr.lhs.lhs, arrays, offset_bytes, fresh)
+        b = _emit_expr(prog, expr.lhs.rhs, arrays, offset_bytes, fresh)
+        c = _emit_expr(prog, expr.rhs, arrays, offset_bytes, fresh)
+        reg = f"v{fresh[0]}"
+        fresh[0] += 1
+        prog.emit(Instruction(Op.VFMA, dest=reg, srcs=(a, b, c)))
+        return reg
+    a = _emit_expr(prog, expr.lhs, arrays, offset_bytes, fresh)
+    b = _emit_expr(prog, expr.rhs, arrays, offset_bytes, fresh)
+    reg = f"v{fresh[0]}"
+    fresh[0] += 1
+    op = {"mul": Op.VMUL, "add": Op.VADD, "sub": Op.VSUB}[expr.kind]
+    prog.emit(Instruction(op, dest=reg, srcs=(a, b)))
+    return reg
+
+
+def auto_vectorize(
+    loop: Loop, arrays: dict[str, int], isa: VectorISA, name: str = "autovec"
+) -> tuple[VectorProgram, VectorizationReport]:
+    """Compile a loop, vectorizing when the pragma conditions allow.
+
+    ``arrays`` maps array names to their byte base addresses in the VM.
+    """
+    report = can_vectorize(loop, isa)
+    prog = VectorProgram(name=name)
+    if report.vectorized:
+        store_op = (
+            Op.VSTORE_NT
+            if "vector nontemporal" in loop.pragmas and isa.has_streaming_stores
+            else Op.VSTORE
+        )
+        for i in range(0, loop.n, isa.width):
+            fresh = [0]
+            off = i * 8
+            reg = _emit_expr(prog, loop.expr, arrays, off, fresh)
+            prog.emit(
+                Instruction(store_op, srcs=(reg,), addr=arrays[loop.dst] + off)
+            )
+        return prog, report
+
+    # scalar fallback
+    def emit_scalar(expr: ArrayRef | BinExpr, off: int, fresh: list[int]) -> str:
+        if isinstance(expr, ArrayRef):
+            reg = f"s{fresh[0]}"
+            fresh[0] += 1
+            prog.emit(Instruction(Op.SLOAD, dest=reg, addr=arrays[expr.name] + off))
+            return reg
+        if expr.kind == "fma":
+            inner = emit_scalar(expr.lhs, off, fresh)
+            c = emit_scalar(expr.rhs, off, fresh)
+            reg = f"s{fresh[0]}"
+            fresh[0] += 1
+            prog.emit(Instruction(Op.SADD, dest=reg, srcs=(inner, c)))
+            return reg
+        a = emit_scalar(expr.lhs, off, fresh)
+        b = emit_scalar(expr.rhs, off, fresh)
+        reg = f"s{fresh[0]}"
+        fresh[0] += 1
+        op = {"mul": Op.SMUL, "add": Op.SADD, "sub": Op.SADD}[expr.kind]
+        prog.emit(Instruction(op, dest=reg, srcs=(a, b)))
+        return reg
+
+    for i in range(loop.n):
+        fresh = [0]
+        reg = emit_scalar(loop.expr, i * 8, fresh)
+        prog.emit(Instruction(Op.SSTORE, srcs=(reg,), addr=arrays[loop.dst] + i * 8))
+    return prog, report
+
+
+class Intrinsics:
+    """``_mm512``-style intrinsics emitting into a :class:`VectorProgram`.
+
+    Register management mirrors how a compiler would allocate one fresh
+    virtual register per intrinsic result, so a hand-written kernel and
+    the auto-vectorizer produce literally identical streams when the
+    operations match (Figure 2's point).
+    """
+
+    def __init__(self, isa: VectorISA, name: str = "intrinsics") -> None:
+        self.isa = isa
+        self.program = VectorProgram(name=name)
+        self._fresh = 0
+
+    def _reg(self) -> str:
+        reg = f"v{self._fresh}"
+        self._fresh += 1
+        return reg
+
+    def reset_registers(self) -> None:
+        """Start a fresh statement (compiler reuses register names)."""
+        self._fresh = 0
+
+    def load_pd(self, addr: int) -> str:
+        reg = self._reg()
+        self.program.emit(Instruction(Op.VLOAD, dest=reg, addr=addr))
+        return reg
+
+    def broadcast_sd(self, addr: int) -> str:
+        reg = self._reg()
+        self.program.emit(Instruction(Op.VBROADCAST, dest=reg, addr=addr))
+        return reg
+
+    def mul_pd(self, a: str, b: str) -> str:
+        reg = self._reg()
+        self.program.emit(Instruction(Op.VMUL, dest=reg, srcs=(a, b)))
+        return reg
+
+    def add_pd(self, a: str, b: str) -> str:
+        reg = self._reg()
+        self.program.emit(Instruction(Op.VADD, dest=reg, srcs=(a, b)))
+        return reg
+
+    def fmadd_pd(self, a: str, b: str, c: str) -> str:
+        reg = self._reg()
+        self.program.emit(Instruction(Op.VFMA, dest=reg, srcs=(a, b, c)))
+        return reg
+
+    def store_pd(self, addr: int, src: str) -> None:
+        self.program.emit(Instruction(Op.VSTORE, srcs=(src,), addr=addr))
+
+    def stream_pd(self, addr: int, src: str) -> None:
+        op = Op.VSTORE_NT if self.isa.has_streaming_stores else Op.VSTORE
+        self.program.emit(Instruction(op, srcs=(src,), addr=addr))
+
+    def prefetch(self, addr: int) -> None:
+        self.program.emit(Instruction(Op.PREFETCH, addr=addr))

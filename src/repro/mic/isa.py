@@ -1,0 +1,214 @@
+"""Vector instruction-set architectures for the simulated machines.
+
+The paper's performance story hinges on three ISA-level facts (Sec. III):
+
+* the MIC's vector unit is 512 bits wide — 8 doubles per instruction,
+  twice AVX's 4 (and its lanes can be swizzled/permuted cheaply),
+* the MIC has fused multiply-add (FMA); Sandy-Bridge AVX does not, so a
+  multiply-accumulate costs two instructions on the CPU baseline,
+* the MIC has *streaming (non-temporal) stores* that skip the
+  read-for-ownership of a full-line write (Sec. V-B5).
+
+This module defines those ISAs as data: vector width, the instruction
+table with issue costs (reciprocal throughput in cycles, for one
+hardware thread), and alignment rules.  The virtual machine
+(:mod:`repro.mic.vm`) executes programs against an ISA; the analytic
+cost model (:mod:`repro.perf.costmodel`) uses the same numbers, so VM
+measurements and model predictions are mutually consistent.
+
+Issue costs are representative per-thread reciprocal throughputs for
+Knights Corner and Sandy Bridge; sources: Intel optimisation manuals'
+published latencies, rounded to the granularity this model needs.  The
+*relative* costs (FMA fusion, vector width, streaming stores) are what
+drive the reproduced speedups, not the absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Op", "Instruction", "VectorISA", "MIC512", "AVX256", "SSE128"]
+
+
+class Op(str, Enum):
+    """Virtual vector/scalar operations understood by the VM."""
+
+    # vector memory
+    VLOAD = "vload"  # aligned vector load
+    VSTORE = "vstore"  # aligned vector store (read-for-ownership)
+    VSTORE_NT = "vstore_nt"  # streaming store, no RFO (paper Sec. V-B5)
+    VBROADCAST = "vbroadcast"  # scalar memory -> all lanes
+    VGATHER = "vgather"  # indexed gather (tip lookups)
+    # vector arithmetic
+    VADD = "vadd"
+    VSUB = "vsub"
+    VMUL = "vmul"
+    VDIV = "vdiv"
+    VFMA = "vfma"  # d = a * b + c (single instruction only if isa.has_fma)
+    VMAX = "vmax"
+    VABS = "vabs"
+    VSHUF = "vshuf"  # lane permute within a register
+    VSET = "vset"  # load immediate lane values
+    # horizontal
+    HADD = "hadd"  # sum all lanes -> scalar register
+    HMAX = "hmax"  # max of all lanes -> scalar register
+    # scalar
+    SLOAD = "sload"
+    SSTORE = "sstore"
+    SADD = "sadd"
+    SMUL = "smul"
+    SDIV = "sdiv"
+    SLOG = "slog"  # scalar log (SVML-style library call)
+    SEXP = "sexp"
+    # memory hints
+    PREFETCH = "prefetch"  # software prefetch into L2/L1 (Sec. V-B6)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VM instruction.
+
+    ``dest``/``srcs`` name virtual registers (``"v0"``.. for vector,
+    ``"s0"``.. for scalar).  Memory operations carry a byte ``addr``;
+    ``VSHUF`` carries a lane ``pattern``; ``VSET`` carries ``values``;
+    ``VGATHER`` carries ``addrs`` (one byte address per lane).
+    """
+
+    op: Op
+    dest: str | None = None
+    srcs: tuple[str, ...] = ()
+    addr: int | None = None
+    addrs: tuple[int, ...] | None = None
+    pattern: tuple[int, ...] | None = None
+    values: tuple[float, ...] | None = None
+    imm: float | None = None
+
+    def __str__(self) -> str:  # assembly-ish rendering for Figure 2
+        parts = [self.op.value]
+        if self.dest:
+            parts.append(self.dest)
+        parts.extend(self.srcs)
+        if self.addr is not None:
+            parts.append(f"[{self.addr:#x}]")
+        if self.pattern is not None:
+            parts.append("{" + ",".join(map(str, self.pattern)) + "}")
+        if self.imm is not None:
+            parts.append(repr(self.imm))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A vector ISA: width, capabilities, per-instruction issue costs.
+
+    ``issue_cost`` maps :class:`Op` to reciprocal throughput in cycles
+    as seen by one hardware thread; memory-system stalls are added by
+    the VM's cache model on top.
+    """
+
+    name: str
+    width: int  # doubles per vector register
+    alignment: int  # required byte alignment of vector memory ops
+    has_fma: bool
+    has_streaming_stores: bool
+    has_gather: bool
+    n_vector_registers: int
+    issue_cost: dict[Op, float] = field(repr=False, default_factory=dict)
+    #: Extra cycles when an instruction consumes the immediately preceding
+    #: instruction's result.  Out-of-order cores (Sandy Bridge) hide this
+    #: entirely (0); the in-order KNC pipeline exposes its 4-cycle vector
+    #: latency, halved by the second hardware thread (~1.5).  This is the
+    #: microarchitectural reason compute-heavy kernels (``newview``)
+    #: speed up less on the MIC than pure streaming kernels (Fig. 3).
+    dependency_penalty: float = 0.0
+
+    @property
+    def vector_bytes(self) -> int:
+        return self.width * 8
+
+    def cost(self, op: Op) -> float:
+        """Issue cost of an op; raises for ops the ISA cannot express."""
+        if op is Op.VFMA and not self.has_fma:
+            # Compilers split FMA into multiply + add on non-FMA ISAs.
+            return self.issue_cost[Op.VMUL] + self.issue_cost[Op.VADD]
+        if op is Op.VSTORE_NT and not self.has_streaming_stores:
+            return self.issue_cost[Op.VSTORE]
+        if op is Op.VGATHER and not self.has_gather:
+            # Emulated gather: one scalar load per lane plus inserts.
+            return self.width * (self.issue_cost[Op.SLOAD] + 0.5)
+        cost = self.issue_cost.get(op)
+        if cost is None:
+            raise KeyError(f"ISA {self.name} has no cost for {op}")
+        return cost
+
+
+_COMMON_COSTS: dict[Op, float] = {
+    Op.VLOAD: 1.0,
+    Op.VSTORE: 1.0,
+    Op.VSTORE_NT: 1.0,
+    Op.VBROADCAST: 1.0,
+    Op.VGATHER: 4.0,
+    Op.VADD: 1.0,
+    Op.VSUB: 1.0,
+    Op.VMUL: 1.0,
+    Op.VDIV: 16.0,
+    Op.VFMA: 1.0,
+    Op.VMAX: 1.0,
+    Op.VABS: 1.0,
+    Op.VSHUF: 1.0,
+    Op.VSET: 1.0,
+    Op.HADD: 3.0,
+    Op.HMAX: 3.0,
+    Op.SLOAD: 0.5,
+    Op.SSTORE: 0.5,
+    Op.SADD: 0.5,
+    Op.SMUL: 0.5,
+    Op.SDIV: 8.0,
+    Op.SLOG: 20.0,
+    Op.SEXP: 20.0,
+    Op.PREFETCH: 0.5,
+}
+
+#: Knights Corner: 512-bit vectors, FMA, streaming stores, gather.
+#: In-order core; one thread can issue a vector op at best every other
+#: cycle (hence >=2 threads/core to saturate — Sec. V-D's "minimum of
+#: 120 threads"); the per-thread costs below assume the 2-thread round
+#: robin, i.e. they already reflect a saturated core divided by 2.
+MIC512 = VectorISA(
+    name="mic512",
+    width=8,
+    alignment=64,
+    has_fma=True,
+    has_streaming_stores=True,
+    has_gather=True,
+    n_vector_registers=32,
+    issue_cost=dict(_COMMON_COSTS),
+    dependency_penalty=1.5,
+)
+
+#: Sandy/Ivy Bridge AVX: 256-bit vectors, no FMA, no NT-store advantage
+#: modelled (regular stores already use the write-combining path well),
+#: no gather.
+AVX256 = VectorISA(
+    name="avx256",
+    width=4,
+    alignment=32,
+    has_fma=False,
+    has_streaming_stores=False,
+    has_gather=False,
+    n_vector_registers=16,
+    issue_cost=dict(_COMMON_COSTS),
+)
+
+#: SSE3: 128-bit vectors (RAxML's oldest vector path, kept for ablations).
+SSE128 = VectorISA(
+    name="sse128",
+    width=2,
+    alignment=16,
+    has_fma=False,
+    has_streaming_stores=False,
+    has_gather=False,
+    n_vector_registers=16,
+    issue_cost=dict(_COMMON_COSTS),
+)

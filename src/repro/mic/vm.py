@@ -1,0 +1,313 @@
+"""Cycle-accounting vector virtual machine.
+
+:class:`VectorMachine` stands in for one hardware thread of a Xeon Phi
+core (or a CPU core, depending on the ISA): it executes
+:class:`~repro.mic.isa.Instruction` streams over a flat simulated
+memory, producing both the *numerical result* (lanes are real float64
+values, so kernels can be validated bit-for-bit against the NumPy
+reference) and a *cycle estimate* composed of
+
+* instruction issue cycles (from the ISA's throughput table),
+* demand-miss stall cycles (from the cache/DRAM model, prefetch-aware),
+* a DRAM bandwidth roofline: cycles can never be fewer than
+  ``traffic / bytes_per_cycle``.
+
+This is the measurement instrument behind the reproduction's Figure 3:
+the four PLF kernels are emitted as instruction streams (by
+:mod:`repro.core.vectorized`) for both the MIC ISA and the AVX ISA, run
+on identically-sized inputs, and the per-site cycle ratios — adjusted
+for core counts and clocks by the platform model — give the kernel
+speedups.  Enforcement of the 64-byte alignment rule (Sec. V-B2) and
+the behaviour of streaming stores and software prefetches (Sec. V-B5/6)
+all live at this level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import CacheLevel, MemoryHierarchy, MemoryStats
+from .isa import Instruction, Op, VectorISA
+from .memory import DramModel
+
+__all__ = ["VectorMachine", "RunStats", "VectorProgram"]
+
+
+@dataclass
+class VectorProgram:
+    """An instruction stream plus a human-readable name."""
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def emit(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def disassembly(self) -> list[str]:
+        return [str(i) for i in self.instructions]
+
+
+@dataclass
+class RunStats:
+    """Cycle accounting of one program execution."""
+
+    issue_cycles: float
+    stall_cycles: float
+    bandwidth_cycles: float
+    instructions: int
+    op_counts: dict[Op, int]
+    memory: MemoryStats
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles: compute+stalls, floored by the DRAM roofline."""
+        return max(self.issue_cycles + self.stall_cycles, self.bandwidth_cycles)
+
+    @property
+    def flops(self) -> int:
+        """Double-precision floating-point operations executed."""
+        width_ops = {
+            Op.VADD: 1, Op.VSUB: 1, Op.VMUL: 1, Op.VDIV: 1, Op.VMAX: 1,
+            Op.VFMA: 2,
+        }
+        scalar_ops = {Op.SADD: 1, Op.SMUL: 1, Op.SDIV: 1}
+        total = 0
+        for op, n in self.op_counts.items():
+            if op in width_ops:
+                total += width_ops[op] * n * self._width
+            elif op in scalar_ops:
+                total += n
+            elif op is Op.HADD:
+                total += (self._width - 1) * n
+        return total
+
+    _width: int = 8
+
+
+class VectorMachine:
+    """Executes vector programs with numerics + cycle accounting.
+
+    Parameters
+    ----------
+    isa:
+        Instruction set (width, costs, capabilities).
+    l1_bytes / l2_bytes:
+        Per-core cache sizes (MIC: 32 KB / 512 KB).
+    dram:
+        The DRAM timing model for one core of the target machine.
+    memory_doubles:
+        Size of the flat simulated memory.
+    """
+
+    def __init__(
+        self,
+        isa: VectorISA,
+        dram: DramModel,
+        l1_bytes: int = 32 * 1024,
+        l2_bytes: int = 512 * 1024,
+        memory_doubles: int = 1 << 20,
+    ) -> None:
+        self.isa = isa
+        self.memory = np.zeros(memory_doubles, dtype=np.float64)
+        self.hierarchy = MemoryHierarchy(
+            CacheLevel("L1", l1_bytes, 8),
+            CacheLevel("L2", l2_bytes, 8),
+            dram,
+        )
+        self._alloc_ptr = 64  # leave address 0 unused
+        self._vregs: dict[str, np.ndarray] = {}
+        self._sregs: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # memory management (host-side API, not simulated instructions)
+    # ------------------------------------------------------------------
+    def alloc(self, n_doubles: int, align: int | None = None) -> int:
+        """Allocate ``n_doubles`` and return the byte address.
+
+        Default alignment is the ISA's vector alignment — the simulated
+        equivalent of ``_mm_malloc`` (Sec. V-B2).
+        """
+        align = align or self.isa.alignment
+        addr = (self._alloc_ptr + align - 1) // align * align
+        end = addr + n_doubles * 8
+        if end > self.memory.nbytes:
+            raise MemoryError(
+                f"simulated memory exhausted ({end} > {self.memory.nbytes})"
+            )
+        self._alloc_ptr = end
+        return addr
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        """Host-side copy into simulated memory (no cycles charged)."""
+        values = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        if addr % 8:
+            raise ValueError(f"address {addr:#x} not 8-byte aligned")
+        self.memory[addr // 8 : addr // 8 + values.size] = values
+
+    def read_array(self, addr: int, n_doubles: int) -> np.ndarray:
+        """Host-side copy out of simulated memory (no cycles charged)."""
+        return self.memory[addr // 8 : addr // 8 + n_doubles].copy()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VectorProgram,
+        flush_caches: bool = True,
+        drain_writebacks: bool = True,
+    ) -> RunStats:
+        """Execute a program; returns cycle statistics.
+
+        ``flush_caches=True`` measures a cold run (the default for
+        kernel benchmarking, where CLAs greatly exceed cache capacity and
+        the paper's kernels always stream from DRAM).
+
+        ``drain_writebacks=True`` charges the DRAM write traffic of lines
+        still dirty in the caches when the program ends.  Kernel
+        measurements use small site windows whose dirty output lines
+        would otherwise never be evicted, under-counting the store
+        traffic that bounds steady-state streaming throughput.
+        """
+        if flush_caches:
+            self.hierarchy.flush()
+        isa = self.isa
+        width = isa.width
+        vregs = self._vregs
+        sregs = self._sregs
+        issue = 0.0
+        op_counts: dict[Op, int] = {}
+        hier = self.hierarchy
+        mem = self.memory
+
+        last_dest: str | None = None
+        arith_ops = {
+            Op.VADD, Op.VSUB, Op.VMUL, Op.VDIV, Op.VFMA, Op.VMAX, Op.VABS,
+            Op.VSHUF, Op.HADD, Op.HMAX,
+        }
+        for instr in program.instructions:
+            op = instr.op
+            op_counts[op] = op_counts.get(op, 0) + 1
+            issue += isa.cost(op)
+            if (
+                isa.dependency_penalty
+                and last_dest is not None
+                and last_dest in instr.srcs
+                and op in arith_ops
+            ):
+                issue += isa.dependency_penalty
+            last_dest = instr.dest
+            now = issue + hier.stats.stall_cycles
+
+            if op is Op.VLOAD:
+                self._check_alignment(instr.addr)
+                hier.access(instr.addr, width * 8, False, now)
+                vregs[instr.dest] = mem[
+                    instr.addr // 8 : instr.addr // 8 + width
+                ].copy()
+            elif op in (Op.VSTORE, Op.VSTORE_NT):
+                self._check_alignment(instr.addr)
+                nt = op is Op.VSTORE_NT and isa.has_streaming_stores
+                hier.access(instr.addr, width * 8, True, now, nontemporal=nt)
+                mem[instr.addr // 8 : instr.addr // 8 + width] = vregs[
+                    instr.srcs[0]
+                ]
+            elif op is Op.VBROADCAST:
+                hier.access(instr.addr, 8, False, now)
+                vregs[instr.dest] = np.full(width, mem[instr.addr // 8])
+            elif op is Op.VGATHER:
+                lanes = np.empty(width)
+                for i, a in enumerate(instr.addrs):
+                    hier.access(a, 8, False, now)
+                    lanes[i] = mem[a // 8]
+                vregs[instr.dest] = lanes
+            elif op is Op.VSET:
+                vregs[instr.dest] = np.array(instr.values, dtype=np.float64)
+            elif op is Op.VADD:
+                vregs[instr.dest] = vregs[instr.srcs[0]] + vregs[instr.srcs[1]]
+            elif op is Op.VSUB:
+                vregs[instr.dest] = vregs[instr.srcs[0]] - vregs[instr.srcs[1]]
+            elif op is Op.VMUL:
+                vregs[instr.dest] = vregs[instr.srcs[0]] * vregs[instr.srcs[1]]
+            elif op is Op.VDIV:
+                vregs[instr.dest] = vregs[instr.srcs[0]] / vregs[instr.srcs[1]]
+            elif op is Op.VFMA:
+                a, b, c = (vregs[s] for s in instr.srcs)
+                vregs[instr.dest] = a * b + c
+            elif op is Op.VMAX:
+                vregs[instr.dest] = np.maximum(
+                    vregs[instr.srcs[0]], vregs[instr.srcs[1]]
+                )
+            elif op is Op.VABS:
+                vregs[instr.dest] = np.abs(vregs[instr.srcs[0]])
+            elif op is Op.VSHUF:
+                src = vregs[instr.srcs[0]]
+                vregs[instr.dest] = src[list(instr.pattern)]
+            elif op is Op.HADD:
+                sregs[instr.dest] = float(vregs[instr.srcs[0]].sum())
+            elif op is Op.HMAX:
+                sregs[instr.dest] = float(vregs[instr.srcs[0]].max())
+            elif op is Op.SLOAD:
+                hier.access(instr.addr, 8, False, now)
+                sregs[instr.dest] = float(mem[instr.addr // 8])
+            elif op is Op.SSTORE:
+                hier.access(instr.addr, 8, True, now)
+                mem[instr.addr // 8] = sregs[instr.srcs[0]]
+            elif op is Op.SADD:
+                sregs[instr.dest] = sregs[instr.srcs[0]] + sregs[instr.srcs[1]]
+            elif op is Op.SMUL:
+                sregs[instr.dest] = sregs[instr.srcs[0]] * sregs[instr.srcs[1]]
+            elif op is Op.SDIV:
+                sregs[instr.dest] = sregs[instr.srcs[0]] / sregs[instr.srcs[1]]
+            elif op is Op.SLOG:
+                sregs[instr.dest] = float(np.log(sregs[instr.srcs[0]]))
+            elif op is Op.SEXP:
+                sregs[instr.dest] = float(np.exp(sregs[instr.srcs[0]]))
+            elif op is Op.PREFETCH:
+                hier.register_prefetch(instr.addr, now)
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"op {op} not implemented")
+
+        stats = hier.stats
+        if drain_writebacks:
+            dirty = {
+                line
+                for level in (hier.l1, hier.l2)
+                for s in level._sets
+                for line, d in s.items()
+                if d
+            }
+            stats.writebacks += len(dirty)
+            stats.dram_write_bytes += len(dirty) * 64
+        bw_cycles = hier.dram.bandwidth_cycles(stats.dram_bytes)
+        rs = RunStats(
+            issue_cycles=issue,
+            stall_cycles=stats.stall_cycles,
+            bandwidth_cycles=bw_cycles,
+            instructions=len(program.instructions),
+            op_counts=op_counts,
+            memory=stats,
+        )
+        rs._width = width
+        return rs
+
+    def _check_alignment(self, addr: int) -> None:
+        if addr % self.isa.alignment:
+            raise ValueError(
+                f"misaligned vector access at {addr:#x}: {self.isa.name} "
+                f"requires {self.isa.alignment}-byte alignment "
+                "(see paper Sec. V-B2 — pad per-site blocks or use "
+                "__mm_malloc-style allocation)"
+            )
+
+    # convenience for tests
+    def vreg(self, name: str) -> np.ndarray:
+        return self._vregs[name].copy()
+
+    def sreg(self, name: str) -> float:
+        return self._sregs[name]

@@ -1,0 +1,132 @@
+"""Functional RAxML-Light-style PThreads fork-join engine (Sec. V-C).
+
+RAxML-Light parallelises the PLF with a master/worker scheme: alignment
+sites are distributed evenly among worker threads, *every* kernel
+invocation becomes a parallel region bracketed by two synchronisation
+points (job announcement + completion barrier), and reductions happen
+in shared memory at the master.  The paper reuses this scheme unchanged
+for the native MIC port ("there is no need to introduce a thread-level
+parallelization in the kernel code").
+
+:class:`ForkJoinEngine` is the functional counterpart of
+:class:`~repro.parallel.distributed.DistributedEngine` for this model:
+same numerical results, same duck-typed engine surface, but the
+synchronisation *accounting* charges two barriers per kernel call — the
+cost structure that makes fork-join lose to ExaML's scheme as thread
+counts grow (ablation E9), while communication (AllReduce) cost is zero
+because everything is shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import LikelihoodEngine
+from ..phylo.alignment import PatternAlignment
+from ..phylo.models import SubstitutionModel
+from ..phylo.rates import GammaRates
+from ..phylo.tree import Tree
+from .distribute import SiteDistribution, distribute_cyclic
+from .distributed import _slice_patterns
+from .pthreads import CPU_PTHREADS, ForkJoinModel
+
+__all__ = ["ForkJoinEngine"]
+
+
+class ForkJoinEngine:
+    """Master/worker PLF over site slices with per-call barrier costs."""
+
+    def __init__(
+        self,
+        patterns: PatternAlignment,
+        tree: Tree,
+        model: SubstitutionModel,
+        rates: GammaRates | None = None,
+        n_threads: int = 4,
+        sync_model: ForkJoinModel = CPU_PTHREADS,
+        distribution: SiteDistribution | None = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        self.patterns = patterns
+        self.tree = tree
+        self.n_threads = n_threads
+        self.sync_model = sync_model
+        self.sync_seconds = 0.0
+        self.parallel_regions = 0
+        self.distribution = distribution or distribute_cyclic(
+            patterns.n_patterns, n_threads
+        )
+        if self.distribution.n_workers != n_threads:
+            raise ValueError("distribution worker count mismatch")
+        self.workers = [
+            LikelihoodEngine(
+                _slice_patterns(patterns, self.distribution.indices_of(t)),
+                tree,
+                model,
+                rates,
+            )
+            for t in range(n_threads)
+        ]
+
+    def _region(self) -> None:
+        """Account one parallel region: two syncs (Sec. V-D)."""
+        self.parallel_regions += 1
+        self.sync_seconds += self.sync_model.region_overhead_s(self.n_threads)
+
+    # -- LikelihoodEngine-compatible surface ---------------------------
+    @property
+    def rates_model(self) -> GammaRates:
+        return self.workers[0].rates_model
+
+    @property
+    def model(self) -> SubstitutionModel:
+        return self.workers[0].model
+
+    def set_model(self, model: SubstitutionModel, rates: GammaRates | None = None) -> None:
+        for worker in self.workers:
+            worker.set_model(model, rates)
+
+    def set_alpha(self, alpha: float) -> None:
+        for worker in self.workers:
+            worker.set_alpha(alpha)
+
+    def default_edge(self) -> int:
+        return self.workers[0].default_edge()
+
+    def log_likelihood(self, root_edge: int | None = None) -> float:
+        self._region()
+        return float(
+            sum(worker.log_likelihood(root_edge) for worker in self.workers)
+        )
+
+    def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
+        self._region()
+        return [worker.edge_sum_buffer(root_edge) for worker in self.workers]
+
+    def branch_derivatives(
+        self, sumbufs: list[np.ndarray], t: float
+    ) -> tuple[float, float, float]:
+        self._region()
+        totals = np.zeros(3)
+        for worker, sb in zip(self.workers, sumbufs):
+            totals += np.array(worker.branch_derivatives(sb, t))
+        return float(totals[0]), float(totals[1]), float(totals[2])
+
+    def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
+        self._region()
+        out = np.empty(self.patterns.n_patterns)
+        for t, worker in enumerate(self.workers):
+            out[self.distribution.indices_of(t)] = worker.site_log_likelihoods(
+                root_edge
+            )
+        return out
+
+    def drop_caches(self) -> None:
+        for worker in self.workers:
+            worker.drop_caches()
+
+    @property
+    def counters(self):
+        """Thread-0 counters (each worker performs the same call mix)."""
+        return self.workers[0].counters

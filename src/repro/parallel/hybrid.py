@@ -1,0 +1,164 @@
+"""Parallel run configurations: flat MPI, PThreads, and hybrid MPI+OpenMP.
+
+Section V-D's finding in data form: a :class:`ParallelConfig` says how
+many MPI ranks run where, how many OpenMP/PThreads workers each rank
+forks per kernel, and over which interconnects the ranks communicate.
+The canonical configurations of the paper's evaluation are provided as
+constructors:
+
+* :func:`examl_cpu` — pure MPI, one rank per core (ExaML's CPU mode);
+* :func:`examl_mic_hybrid` — the paper's best MIC setting, 2 ranks x
+  118 OpenMP threads per card;
+* :func:`examl_mic_flat` — the failed 120-ranks-per-card experiment;
+* :func:`raxml_light_pthreads` — RAxML-Light's fork-join mode (2 syncs
+  per kernel call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.platforms import PlatformSpec
+from .openmp import CPU_OPENMP, MIC_OPENMP, OpenMPModel
+from .pthreads import CPU_PTHREADS, MIC_PTHREADS, ForkJoinModel
+from .simmpi import (
+    Interconnect,
+    PCIE_MIC_MIC,
+    SHARED_MEMORY,
+    allreduce_time,
+)
+
+__all__ = [
+    "MIC_ONCARD_MPI",
+    "ParallelConfig",
+    "examl_cpu",
+    "examl_mic_hybrid",
+    "examl_mic_flat",
+    "raxml_light_pthreads",
+]
+
+#: MPI between ranks on the *same* MIC card: shared memory, but the MPI
+#: progress engine runs on 1 GHz in-order cores — an order of magnitude
+#: slower than host shared-memory MPI.  ~40 us small-message AllReduce,
+#: calibrated against Table III (see repro.perf.calibration); Potluri et
+#: al. (the paper's ref. [36]) report the same order of magnitude for
+#: unoptimised intra-MIC MPI.
+MIC_ONCARD_MPI = Interconnect("mic-oncard-mpi", 40e-6, 2e9)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A complete parallel execution setting for one run."""
+
+    name: str
+    n_ranks: int
+    threads_per_rank: int
+    ranks_per_domain: int  # ranks sharing one card / host
+    intra: Interconnect
+    inter: Interconnect | None = None
+    region_sync: OpenMPModel | ForkJoinModel | None = None
+    #: hardware threads one core must run to saturate its pipeline
+    threads_per_core_needed: int = 1
+
+    @property
+    def total_workers(self) -> int:
+        return self.n_ranks * self.threads_per_rank
+
+    def effective_cores(self, platform: PlatformSpec) -> int:
+        """Cores actually saturated by this configuration."""
+        usable = self.total_workers / self.threads_per_core_needed
+        return max(1, min(platform.cores, int(usable)))
+
+    def sync_overhead_s(self) -> float:
+        """Per-kernel-invocation synchronisation cost."""
+        if self.region_sync is None or self.threads_per_rank == 1:
+            return 0.0
+        return self.region_sync.region_overhead_s(self.threads_per_rank)
+
+    def reduction_time_s(self, n_bytes: float = 16.0) -> float:
+        """One scalar AllReduce across all ranks of this configuration."""
+        return allreduce_time(
+            self.n_ranks,
+            n_bytes,
+            self.intra,
+            self.inter,
+            self.ranks_per_domain if self.inter is not None else None,
+        )
+
+
+def examl_cpu(platform: PlatformSpec) -> ParallelConfig:
+    """ExaML's CPU mode: one MPI rank per physical core, no threading."""
+    return ParallelConfig(
+        name=f"ExaML-CPU ({platform.cores} ranks)",
+        n_ranks=platform.cores,
+        threads_per_rank=1,
+        ranks_per_domain=platform.cores,
+        intra=SHARED_MEMORY,
+        region_sync=None,
+        threads_per_core_needed=1,
+    )
+
+
+def examl_mic_hybrid(
+    n_cards: int = 1,
+    ranks_per_card: int = 2,
+    threads_per_rank: int = 118,
+) -> ParallelConfig:
+    """The paper's ExaML-MIC setting: hybrid MPI x OpenMP.
+
+    "2 MPI ranks and 118 OpenMP threads per rank yield the best
+    performance for almost all datasets" (Sec. VI-B2); with two cards
+    the same per-card layout communicates over PCIe (Sec. VI-B3).
+    """
+    return ParallelConfig(
+        name=(
+            f"ExaML-MIC ({n_cards} card(s), {ranks_per_card}x"
+            f"{threads_per_rank})"
+        ),
+        n_ranks=n_cards * ranks_per_card,
+        threads_per_rank=threads_per_rank,
+        ranks_per_domain=ranks_per_card,
+        intra=MIC_ONCARD_MPI,
+        inter=PCIE_MIC_MIC if n_cards > 1 else None,
+        region_sync=MIC_OPENMP,
+        threads_per_core_needed=2,
+    )
+
+
+def examl_mic_flat(n_ranks: int = 120) -> ParallelConfig:
+    """The failed configuration: one MPI rank per hardware thread pair.
+
+    "An attempt to run ExaML in this configuration resulted in a
+    substantial slowdown" (Sec. V-D) — every reduction is a
+     120-participant AllReduce through the card's slow MPI stack.
+    """
+    return ParallelConfig(
+        name=f"ExaML-MIC flat ({n_ranks} ranks)",
+        n_ranks=n_ranks,
+        threads_per_rank=1,
+        ranks_per_domain=n_ranks,
+        intra=MIC_ONCARD_MPI,
+        region_sync=None,
+        threads_per_core_needed=2,
+    )
+
+
+def raxml_light_pthreads(platform: PlatformSpec, on_mic: bool = False) -> ParallelConfig:
+    """RAxML-Light: one process, PThreads workers, 2 syncs per kernel."""
+    if on_mic:
+        threads = platform.cores * 2
+        sync: ForkJoinModel = MIC_PTHREADS
+        needed = 2
+    else:
+        threads = platform.cores
+        sync = CPU_PTHREADS
+        needed = 1
+    return ParallelConfig(
+        name=f"RAxML-Light PThreads ({threads} threads)",
+        n_ranks=1,
+        threads_per_rank=threads,
+        ranks_per_domain=1,
+        intra=SHARED_MEMORY,
+        region_sync=sync,
+        threads_per_core_needed=needed,
+    )

@@ -1,0 +1,58 @@
+"""OpenMP execution model: parallel-for with fork/barrier overhead.
+
+ExaML-MIC parallelises each kernel's site loop with OpenMP across 118
+threads per rank (Sec. V-D).  Every parallel region pays a fork +
+barrier whose cost grows with the thread count — on Knights Corner,
+measured centralized barriers run tens of microseconds at 100+ threads,
+which is exactly why the MIC loses on small alignments: at 10K sites a
+thread owns ~42 sites (~2 us of work) wrapped in ~25 us of
+synchronisation (Sec. VI-B2's explanation).
+
+The linear-plus-constant barrier model below reproduces that regime; the
+coefficients are per-platform (big out-of-order cores synchronise far
+faster than 1 GHz in-order ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["OpenMPModel", "MIC_OPENMP", "CPU_OPENMP"]
+
+
+@dataclass(frozen=True)
+class OpenMPModel:
+    """Fork-join timing for one OpenMP runtime on one platform."""
+
+    name: str
+    fork_base_s: float  # constant fork/teardown cost
+    barrier_per_thread_s: float  # incremental cost per participating thread
+
+    def region_overhead_s(self, n_threads: int) -> float:
+        """Fork + end-of-region barrier cost for one parallel region."""
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        if n_threads == 1:
+            return 0.0
+        return self.fork_base_s + self.barrier_per_thread_s * n_threads
+
+    def parallel_for_time(
+        self, n_items: int, n_threads: int, per_item_s: float
+    ) -> float:
+        """Wall time of a statically-chunked parallel loop."""
+        if n_items < 0:
+            raise ValueError("negative item count")
+        chunk = ceil(n_items / n_threads)
+        return chunk * per_item_s + self.region_overhead_s(n_threads)
+
+
+#: KNC: slow cores, many threads — ~30 us base plus ~0.7 us/thread
+#: (118 threads -> ~113 us per region), consistent with published EPCC
+#: OpenMP microbenchmark numbers for ``PARALLEL FOR`` on Knights Corner
+#: at >100 threads; final values calibrated against Table III (see
+#: repro.perf.calibration).
+MIC_OPENMP = OpenMPModel("knc-openmp", 30e-6, 0.7e-6)
+
+#: Xeon: ~0.5 us base plus ~0.15 us/thread (16 threads -> ~3 us).
+CPU_OPENMP = OpenMPModel("xeon-openmp", 0.5e-6, 0.15e-6)

@@ -1,0 +1,45 @@
+"""RAxML-Light's PThreads fork-join parallelisation model (Sec. V-C/V-D).
+
+RAxML-Light uses a classical master/worker scheme: the master posts a
+job descriptor, workers compute their site ranges, and everyone meets at
+a barrier — *master and workers communicate at least twice per parallel
+region* (Sec. V-D), i.e. a start barrier and an end barrier around every
+kernel invocation.  ExaML was designed to avoid exactly this (no
+synchronisation between consecutive ``newview`` calls), which is the
+fork-join-vs-ExaML ablation (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .openmp import OpenMPModel
+
+__all__ = ["ForkJoinModel", "MIC_PTHREADS", "CPU_PTHREADS"]
+
+
+@dataclass(frozen=True)
+class ForkJoinModel:
+    """Master/worker fork-join: two barriers around every region."""
+
+    name: str
+    barrier: OpenMPModel  # reuse the barrier cost curve
+
+    def region_overhead_s(self, n_threads: int) -> float:
+        """Two synchronisation points per parallel region."""
+        return 2.0 * self.barrier.region_overhead_s(n_threads)
+
+    def parallel_for_time(
+        self, n_items: int, n_threads: int, per_item_s: float
+    ) -> float:
+        if n_items < 0:
+            raise ValueError("negative item count")
+        chunk = ceil(n_items / n_threads)
+        return chunk * per_item_s + self.region_overhead_s(n_threads)
+
+
+from .openmp import CPU_OPENMP, MIC_OPENMP  # noqa: E402  (constants reuse)
+
+MIC_PTHREADS = ForkJoinModel("knc-pthreads", MIC_OPENMP)
+CPU_PTHREADS = ForkJoinModel("xeon-pthreads", CPU_OPENMP)

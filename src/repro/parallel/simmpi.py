@@ -1,0 +1,151 @@
+"""Simulated MPI: interconnects, collectives, and a functional rank model.
+
+Two layers:
+
+* **Cost layer** — :class:`Interconnect` descriptors and
+  :func:`allreduce_time`, the latency/bandwidth model for the collective
+  that dominates ExaML's communication (Sec. VI-B3: AllReduce of one or
+  a few doubles after every ``evaluate``/derivative computation).  The
+  constants come straight from the paper's measurements: ~20 us between
+  two MIC cards over PCIe with Intel MPI 4.1.2, ~35 us with the older
+  4.0.3 release, <5 us between cluster nodes on QLogic InfiniBand; we
+  add a sub-2 us shared-memory figure for ranks on the same host.
+
+* **Functional layer** — :class:`SimMPI` executes rank-parallel code
+  deterministically in-process (ranks are just array slices), providing
+  real ``allreduce`` semantics so the distributed likelihood tests can
+  assert bit-equality with the serial engine while the same calls
+  accumulate modelled communication time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+
+import numpy as np
+
+__all__ = [
+    "Interconnect",
+    "SHARED_MEMORY",
+    "PCIE_MIC_MIC",
+    "PCIE_MIC_MIC_OLD_MPI",
+    "INFINIBAND_QLOGIC",
+    "allreduce_time",
+    "SimMPI",
+]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Point-to-point link model: latency + bandwidth + contention.
+
+    ``contention_per_rank`` scales the effective message latency as the
+    number of ranks sharing the link's MPI stack grows — small-message
+    collectives on the MIC degrade far worse than logarithmically once
+    dozens of ranks hammer the card's slow progress engine (the flat-MPI
+    failure of Sec. V-D).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bs: float
+    contention_per_rank: float = 1.0 / 16.0
+
+    def message_time(self, n_bytes: float, n_ranks: int = 2) -> float:
+        if n_bytes < 0:
+            raise ValueError("negative message size")
+        contention = 1.0 + self.contention_per_rank * n_ranks
+        return self.latency_s * contention + n_bytes / self.bandwidth_bs
+
+
+#: Ranks within one shared-memory domain (same card or same host board).
+SHARED_MEMORY = Interconnect("shm", 1.5e-6, 20e9)
+
+#: MIC-to-MIC over PCIe, Intel MPI 4.1.2.040 (paper: ~20 us AllReduce).
+PCIE_MIC_MIC = Interconnect("pcie-mic-mic (IMPI 4.1.2)", 20e-6, 1.0e9)
+
+#: Same path with Intel MPI 4.0.3.008 (paper: ~35 us) — ablation E8.
+PCIE_MIC_MIC_OLD_MPI = Interconnect("pcie-mic-mic (IMPI 4.0.3)", 35e-6, 0.8e9)
+
+#: Two cluster nodes on QLogic InfiniBand (paper: <5 us AllReduce).
+INFINIBAND_QLOGIC = Interconnect("qlogic-ib", 5e-6, 3.2e9)
+
+
+def allreduce_time(
+    n_ranks: int,
+    n_bytes: float,
+    intra: Interconnect,
+    inter: Interconnect | None = None,
+    ranks_per_group: int | None = None,
+) -> float:
+    """Recursive-doubling AllReduce cost, optionally hierarchical.
+
+    Flat topology: ``ceil(log2 p)`` rounds, each one link message.
+    Hierarchical (``inter`` + ``ranks_per_group`` given, e.g. 2 ranks per
+    MIC card, cards over PCIe): an intra-group reduce, an inter-group
+    AllReduce over the slow links, and an intra-group broadcast — the
+    standard two-level scheme MPI libraries use on accelerator clusters.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks == 1:
+        return 0.0
+    if inter is None or ranks_per_group is None or n_ranks <= ranks_per_group:
+        rounds = ceil(log2(n_ranks))
+        return rounds * intra.message_time(n_bytes, n_ranks)
+    n_groups = ceil(n_ranks / ranks_per_group)
+    local = allreduce_time(ranks_per_group, n_bytes, intra)
+    across = ceil(log2(n_groups)) * inter.message_time(n_bytes, n_groups)
+    bcast = ceil(log2(ranks_per_group)) * intra.message_time(
+        n_bytes, ranks_per_group
+    )
+    return local + across + bcast
+
+
+@dataclass
+class SimMPI:
+    """In-process rank simulator with modelled communication time.
+
+    ``interconnect`` prices flat collectives; pass ``inter`` +
+    ``ranks_per_group`` for the hierarchical (multi-card) topology.
+    """
+
+    n_ranks: int
+    interconnect: Interconnect = SHARED_MEMORY
+    inter: Interconnect | None = None
+    ranks_per_group: int | None = None
+    comm_seconds: float = 0.0
+    allreduce_calls: int = 0
+    bytes_reduced: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+
+    def allreduce_sum(self, contributions: list[np.ndarray | float]) -> np.ndarray:
+        """Sum per-rank contributions; charges the modelled time.
+
+        ``contributions`` must have exactly one entry per rank.
+        """
+        if len(contributions) != self.n_ranks:
+            raise ValueError(
+                f"{len(contributions)} contributions for {self.n_ranks} ranks"
+            )
+        arrays = [np.atleast_1d(np.asarray(c, dtype=np.float64)) for c in contributions]
+        n_bytes = arrays[0].nbytes
+        for a in arrays[1:]:
+            if a.shape != arrays[0].shape:
+                raise ValueError("allreduce contributions differ in shape")
+        self.comm_seconds += allreduce_time(
+            self.n_ranks, n_bytes, self.interconnect, self.inter, self.ranks_per_group
+        )
+        self.allreduce_calls += 1
+        self.bytes_reduced += n_bytes * self.n_ranks
+        return np.sum(arrays, axis=0)
+
+    def barrier(self) -> None:
+        """A barrier costs one zero-byte AllReduce."""
+        self.comm_seconds += allreduce_time(
+            self.n_ranks, 8, self.interconnect, self.inter, self.ranks_per_group
+        )

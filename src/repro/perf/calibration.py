@@ -1,0 +1,74 @@
+"""Calibration bookkeeping: how the model constants were fixed, and checks.
+
+The reproduction has exactly two kinds of numbers:
+
+1. **Measured/derived** — Table I specs, VM instruction/traffic counts,
+   the paper's own latency measurements (20 us PCIe AllReduce, 5 us IB).
+   These are never tuned.
+2. **Calibrated** — a small set of microarchitectural efficiency
+   constants that a cycle-approximate VM cannot derive from first
+   principles.  Each was fitted once against a published artefact and
+   is frozen in source with a comment; this module records the list,
+   re-derives the fitted targets, and reports residuals so drift is
+   visible in tests.
+
+Calibrated constants (see the definitions for physical justification):
+
+* ``PIPELINE_EFFICIENCY`` (repro.perf.costmodel) — fitted to Figure 3's
+  per-kernel speedups.
+* ``SCALAR_IPC['mic512'] = 0.2`` (repro.perf.costmodel) — fitted to
+  Table III's small-alignment columns.
+* ``MIC_OPENMP = (30 us, 0.7 us/thread)`` (repro.parallel.openmp) —
+  fitted to Table III, consistent with EPCC OpenMP overheads on KNC.
+* ``MIC_ONCARD_MPI = 40 us`` (repro.parallel.hybrid) — fitted to
+  Table III, consistent with Potluri et al.'s intra-MIC MPI numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CostModel
+from .platforms import XEON_E5_2680_2S, XEON_PHI_5110P_1S
+
+__all__ = ["CalibrationReport", "figure3_residuals", "PAPER_FIGURE3"]
+
+#: Figure 3 of the paper: per-kernel MIC speedups vs the 2S E5-2680.
+PAPER_FIGURE3 = {
+    "newview": 2.0,
+    "evaluate": 1.9,
+    "derivative_sum": 2.8,
+    "derivative_core": 2.0,
+}
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Side-by-side of model predictions and the paper's published values."""
+
+    kernel: str
+    model_speedup: float
+    paper_speedup: float
+
+    @property
+    def relative_error(self) -> float:
+        return self.model_speedup / self.paper_speedup - 1.0
+
+
+def figure3_residuals(sites: int = 1_000_000) -> list[CalibrationReport]:
+    """Model-vs-paper residuals for the per-kernel speedups.
+
+    Uses the large-alignment limit (per-call overheads negligible), the
+    regime Figure 3 effectively measures.
+    """
+    cpu = CostModel(XEON_E5_2680_2S)
+    mic = CostModel(XEON_PHI_5110P_1S)
+    out = []
+    for kernel, target in PAPER_FIGURE3.items():
+        speedup = mic.kernel_speedup_vs(cpu, kernel, sites)
+        out.append(
+            CalibrationReport(
+                kernel=kernel, model_speedup=speedup, paper_speedup=target
+            )
+        )
+    return out

@@ -1,0 +1,41 @@
+"""Energy estimation (Section VI-B4).
+
+The paper estimates energy as ``E[Wh] = MaxTDP[W] x RunTime[s] / 3600``
+and reports savings relative to the CPU baseline.  We reproduce the
+identical methodology: TDP values come from Table I
+(:mod:`repro.perf.platforms`), runtimes from the trace-driven
+predictions, and :func:`relative_energy_savings` produces Figure 5's
+series (values > 1 mean the platform consumes *less* energy than the
+baseline).
+"""
+
+from __future__ import annotations
+
+from .platforms import BASELINE, PlatformSpec
+
+__all__ = ["energy_wh", "relative_energy_savings"]
+
+
+def energy_wh(platform: PlatformSpec, runtime_s: float) -> float:
+    """``E[Wh] = MaxTDP x t / 3600`` — the paper's estimator."""
+    if runtime_s < 0:
+        raise ValueError("negative runtime")
+    return platform.energy_wh(runtime_s)
+
+
+def relative_energy_savings(
+    platform: PlatformSpec,
+    runtime_s: float,
+    baseline_runtime_s: float,
+    baseline: PlatformSpec = BASELINE,
+) -> float:
+    """Baseline energy divided by platform energy (Figure 5's y-axis).
+
+    1.0 means parity with the 2S E5-2680 baseline; 2.3 means the
+    platform consumed 2.3x less energy for the same tree search.
+    """
+    e_base = energy_wh(baseline, baseline_runtime_s)
+    e_this = energy_wh(platform, runtime_s)
+    if e_this <= 0:
+        raise ValueError("non-positive energy")
+    return e_base / e_this

@@ -1,0 +1,102 @@
+"""Roofline analysis of the PLF kernels (``repro-roofline``).
+
+Classifies each kernel on each platform as memory- or compute-bound and
+reports its attainable fraction of peak — the quantitative version of
+the paper's narrative: ``derivativeSum`` "performs a simple element-wise
+multiplication ... which can be efficiently vectorized" (deep in the
+memory-bound region, so the MIC's 3x bandwidth shows through), while
+"the other kernels exhibit a less favorable mixture of numerical
+operations" (closer to the ridge, where the in-order pipeline limits the
+MIC).
+
+The ridge point of a platform is ``peak_flops_per_cycle /
+sustainable_bytes_per_cycle`` (flops per byte); kernels left of it are
+bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import KERNELS, measure_kernel_cycles
+from .platforms import PlatformSpec, XEON_E5_2680_2S, XEON_PHI_5110P_1S
+
+__all__ = ["RooflinePoint", "roofline_analysis", "render_roofline", "main"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a platform's roofline."""
+
+    kernel: str
+    platform: str
+    arithmetic_intensity: float  # flops / DRAM byte
+    ridge_intensity: float  # platform ridge point
+    attainable_gflops: float  # min(peak, AI * BW)
+    peak_gflops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.arithmetic_intensity < self.ridge_intensity
+
+    @property
+    def attainable_fraction(self) -> float:
+        return self.attainable_gflops / self.peak_gflops
+
+
+def roofline_analysis(platform: PlatformSpec) -> list[RooflinePoint]:
+    """Roofline points for all four kernels on one platform."""
+    if platform.isa is None:
+        raise ValueError(f"{platform.name} has no executable ISA")
+    meas = measure_kernel_cycles(platform.isa.name)
+    bw_gbs = platform.memory_bw_gbs * platform.bandwidth_efficiency
+    ridge = platform.peak_dp_gflops / bw_gbs
+    out = []
+    for kernel in KERNELS:
+        m = meas[kernel]
+        ai = m.arithmetic_intensity
+        attainable = min(platform.peak_dp_gflops, ai * bw_gbs)
+        out.append(
+            RooflinePoint(
+                kernel=kernel,
+                platform=platform.name,
+                arithmetic_intensity=ai,
+                ridge_intensity=ridge,
+                attainable_gflops=attainable,
+                peak_gflops=platform.peak_dp_gflops,
+            )
+        )
+    return out
+
+
+def render_roofline() -> str:
+    """Text table of roofline points for both benchmark platforms."""
+    from ..harness.report import format_table
+
+    rows = []
+    for platform in (XEON_PHI_5110P_1S, XEON_E5_2680_2S):
+        for p in roofline_analysis(platform):
+            rows.append(
+                [
+                    p.platform,
+                    p.kernel,
+                    f"{p.arithmetic_intensity:.2f}",
+                    f"{p.ridge_intensity:.2f}",
+                    "memory" if p.memory_bound else "compute",
+                    f"{p.attainable_fraction:.1%}",
+                ]
+            )
+    return format_table(
+        ["platform", "kernel", "AI (flop/B)", "ridge", "bound", "of peak"],
+        rows,
+        title="Roofline classification of the PLF kernels",
+    )
+
+
+def main() -> None:
+    """Print the roofline table (console entry point)."""
+    print(render_roofline())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Phylogenetics substrate: alignments, trees, models, simulation.
+
+This subpackage implements everything the paper's likelihood kernels sit
+on top of — state encodings, alignment containers with site-pattern
+compression, sequence I/O, unrooted trees with SPR/NNI moves, the GTR
+model family with its eigensystem, discrete-Gamma/CAT rate
+heterogeneity, an INDELible-equivalent sequence simulator, and Fitch
+parsimony for starting trees.
+"""
+
+from .alignment import Alignment, PatternAlignment, compress_patterns
+from .consensus import majority_rule_consensus, split_frequencies
+from .distance import jc_distance, k2p_distance, neighbor_joining, p_distance
+from .draw import ascii_tree
+from .stats import AlignmentStats, alignment_stats
+from .models import (
+    DNA_RATE_ORDER,
+    EigenSystem,
+    SubstitutionModel,
+    gtr,
+    hky85,
+    jc69,
+    k80,
+    poisson_protein,
+)
+from .newick import NewickError, NewickNode, format_newick, parse_newick
+from .parsimony import fitch_score, stepwise_addition_tree
+from .protein_models import load_paml_matrix, save_paml_matrix
+from .rates import CatRates, GammaRates, discrete_gamma_rates
+from .seqio import read_alignment, read_fasta, read_phylip, write_fasta, write_phylip
+from .simulate import SimulationResult, simulate_alignment, simulate_dataset
+from .states import DNA, PROTEIN, StateSpace
+from .tree import Edge, PruneRecord, Tree, random_topology
+
+__all__ = [
+    "Alignment",
+    "PatternAlignment",
+    "compress_patterns",
+    "majority_rule_consensus",
+    "split_frequencies",
+    "jc_distance",
+    "k2p_distance",
+    "neighbor_joining",
+    "p_distance",
+    "ascii_tree",
+    "AlignmentStats",
+    "alignment_stats",
+    "DNA_RATE_ORDER",
+    "EigenSystem",
+    "SubstitutionModel",
+    "gtr",
+    "hky85",
+    "jc69",
+    "k80",
+    "poisson_protein",
+    "NewickError",
+    "NewickNode",
+    "format_newick",
+    "parse_newick",
+    "fitch_score",
+    "stepwise_addition_tree",
+    "load_paml_matrix",
+    "save_paml_matrix",
+    "CatRates",
+    "GammaRates",
+    "discrete_gamma_rates",
+    "read_alignment",
+    "read_fasta",
+    "read_phylip",
+    "write_fasta",
+    "write_phylip",
+    "SimulationResult",
+    "simulate_alignment",
+    "simulate_dataset",
+    "DNA",
+    "PROTEIN",
+    "StateSpace",
+    "Edge",
+    "PruneRecord",
+    "Tree",
+    "random_topology",
+]

@@ -1,0 +1,117 @@
+"""Majority-rule consensus trees from tree sets (bootstrap summaries).
+
+Given the replicate trees of a bootstrap analysis, the majority-rule
+consensus contains exactly the bipartitions present in more than half
+(or a stricter threshold) of the replicates — the standard way to
+summarise bootstrap topological uncertainty (RAxML's ``-J MR``).
+
+Compatible majority splits always form a tree, built here by greedy
+insertion from the most to the least frequent split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import Tree
+
+__all__ = ["split_frequencies", "majority_rule_consensus"]
+
+
+def split_frequencies(trees: list[Tree]) -> dict[frozenset[str], float]:
+    """Fraction of input trees containing each non-trivial bipartition."""
+    if not trees:
+        raise ValueError("no input trees")
+    taxa = set(trees[0].leaf_names())
+    for t in trees[1:]:
+        if set(t.leaf_names()) != taxa:
+            raise ValueError("trees have different taxon sets")
+    counts: dict[frozenset[str], int] = {}
+    for t in trees:
+        for split in t.splits():
+            counts[split] = counts.get(split, 0) + 1
+    return {s: c / len(trees) for s, c in counts.items()}
+
+
+def _compatible(split: frozenset[str], accepted: list[frozenset[str]], taxa: frozenset[str]) -> bool:
+    """Two splits are compatible iff one side-pair is nested or disjoint."""
+    for other in accepted:
+        a, b = split, other
+        if a & b and a - b and b - a and (taxa - (a | b)):
+            return False
+    return True
+
+
+def majority_rule_consensus(
+    trees: list[Tree], threshold: float = 0.5
+) -> tuple[Tree, dict[frozenset[str], float]]:
+    """Build the majority-rule consensus tree.
+
+    Returns ``(consensus_tree, split_support)`` where ``split_support``
+    maps every split *in the consensus* to its frequency.  ``threshold``
+    is the inclusion frequency (0.5 = strict majority; higher values
+    give more conservative, less resolved trees).  Splits at exactly the
+    threshold are excluded, and greedy frequency-ordered insertion keeps
+    the accepted set compatible even at thresholds below 0.5.
+
+    The consensus may be multifurcating; it is built as a star tree that
+    gets refined by grouping each accepted split's taxa under a new
+    internal node.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0, 1)")
+    freqs = split_frequencies(trees)
+    taxa = frozenset(trees[0].leaf_names())
+    ordered = sorted(freqs.items(), key=lambda kv: (-kv[1], sorted(kv[0])))
+    accepted: list[frozenset[str]] = []
+    support: dict[frozenset[str], float] = {}
+    for split, freq in ordered:
+        if freq <= threshold:
+            break
+        if _compatible(split, accepted, taxa):
+            accepted.append(split)
+            support[split] = freq
+
+    # star tree, refined split by split (largest splits first, so nested
+    # splits always find their taxa already grouped under one node)
+    tree = Tree()
+    hub = tree.add_node()
+    leaf_of: dict[str, int] = {}
+    for name in sorted(taxa):
+        leaf = tree.add_node(name)
+        tree.add_edge(hub, leaf, 0.1)
+        leaf_of[name] = leaf
+
+    for split in sorted(accepted, key=len, reverse=True):
+        # find the node currently holding all of the split's subtrees
+        members = set(split)
+        # the common attachment point: the neighbour-counted node whose
+        # adjacent subtrees cover the member set
+        attach = None
+        for node in tree.internal_nodes():
+            cover = []
+            for nbr, eid in tree.neighbors(node):
+                side = {tree.name(n) for n in tree.subtree_leaves(nbr, eid)}
+                if side <= members:
+                    cover.append(eid)
+            covered = set()
+            for eid in cover:
+                e = tree.edge(eid)
+                nbr = e.other(node)
+                covered |= {tree.name(n) for n in tree.subtree_leaves(nbr, eid)}
+            if covered == members:
+                attach = (node, cover)
+                break
+        if attach is None:  # pragma: no cover - accepted splits are compatible
+            continue
+        node, cover = attach
+        new = tree.add_node()
+        for eid in cover:
+            e = tree.edge(eid)
+            other = e.other(node)
+            length = e.length
+            tree.remove_edge(eid)
+            tree.add_edge(new, other, length)
+        tree.add_edge(node, new, 0.1)
+
+    return tree, support

@@ -1,0 +1,121 @@
+"""Fitch parsimony: scoring and stepwise-addition starting trees.
+
+RAxML-Light does not start its ML search from a random topology — it
+builds a *randomized stepwise-addition parsimony tree* first, which is
+dramatically closer to the ML optimum and cuts the number of expensive
+PLF-driven SPR rounds.  We reproduce that substrate: the Fitch (1971)
+small-parsimony pass, vectorised across site patterns using the same
+bitmask state codes the likelihood tips use, plus the greedy insertion
+loop that builds the start tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alignment import PatternAlignment
+from .tree import Tree
+
+__all__ = ["fitch_score", "stepwise_addition_tree"]
+
+
+def fitch_score(tree: Tree, patterns: PatternAlignment) -> int:
+    """Weighted Fitch parsimony score of an unrooted tree.
+
+    One bottom-up pass from an arbitrary virtual root: the preliminary
+    state set of an internal node is the intersection of its children's
+    sets when non-empty (no mutation) else their union (one mutation).
+    The count of union events, weighted by pattern multiplicities, is the
+    parsimony length.  Works for any node degree, so partially built
+    stepwise-addition trees score fine.
+    """
+    if tree.n_leaves < 2:
+        return 0
+    leaf_row = {
+        tree.name(leaf): patterns.row(tree.name(leaf))  # type: ignore[arg-type]
+        for leaf in tree.leaves()
+    }
+    weights = patterns.weights
+    mutations = np.zeros(patterns.n_patterns, dtype=np.int64)
+
+    internals = tree.internal_nodes()
+    if not internals:
+        # Degenerate 2-leaf tree: a column mutates iff the state sets of
+        # the two leaves are disjoint.
+        a, b = tree.leaves()
+        disjoint = (leaf_row[tree.name(a)] & leaf_row[tree.name(b)]) == 0
+        return int(np.dot(disjoint.astype(np.int64), weights))
+    root = internals[0]
+
+    # Iterative post-order (site-pattern arrays can be wide; recursion depth
+    # is only an issue for caterpillar trees with many taxa).
+    state: dict[int, np.ndarray] = {}
+    stack: list[tuple[int, int | None, bool]] = [(root, None, False)]
+    while stack:
+        node, up_edge, expanded = stack.pop()
+        if tree.is_leaf(node):
+            state[node] = leaf_row[tree.name(node)]  # type: ignore[index]
+            continue
+        if not expanded:
+            stack.append((node, up_edge, True))
+            for eid in tree.incident_edges(node):
+                if eid == up_edge:
+                    continue
+                stack.append((tree.edge(eid).other(node), eid, False))
+            continue
+        acc: np.ndarray | None = None
+        for eid in tree.incident_edges(node):
+            if eid == up_edge:
+                continue
+            child_state = state[tree.edge(eid).other(node)]
+            if acc is None:
+                acc = child_state
+                continue
+            inter = acc & child_state
+            empty = inter == 0
+            mutations += empty
+            acc = np.where(empty, acc | child_state, inter)
+        state[node] = acc if acc is not None else leaf_row[tree.name(node)]  # type: ignore[index]
+    return int(np.dot(mutations, weights))
+
+
+def stepwise_addition_tree(
+    patterns: PatternAlignment, rng: np.random.Generator
+) -> Tree:
+    """Randomized stepwise-addition parsimony tree (RAxML's start tree).
+
+    Taxa are shuffled, the first three form a star, and each further
+    taxon is attached to the edge that minimises the Fitch score of the
+    grown tree (ties broken by insertion order, which the shuffled taxon
+    order already randomises).
+    """
+    taxa = list(patterns.taxa)
+    if len(taxa) < 2:
+        raise ValueError("need at least 2 taxa")
+    order = [taxa[i] for i in rng.permutation(len(taxa))]
+
+    tree = Tree()
+    a = tree.add_node(order[0])
+    b = tree.add_node(order[1])
+    eid = tree.add_edge(a, b)
+    if len(order) == 2:
+        return tree
+    tree.attach_leaf(eid, order[2])
+
+    for name in order[3:]:
+        # Trying an edge splits and later re-merges it, which changes its
+        # id; identify candidates by their (stable) endpoint node ids.
+        candidates = [(e.u, e.v) for e in tree.edges]
+        best_pair, best_score = None, None
+        for u, v in candidates:
+            eid = tree.find_edge(u, v)
+            leaf, mid, pend = tree.attach_leaf(eid, name)
+            score = fitch_score(tree, patterns)
+            # undo: remove pendant edge + leaf, suppress junction
+            tree.remove_edge(pend)
+            tree.remove_node(leaf)
+            tree.suppress_node(mid)
+            if best_score is None or score < best_score:
+                best_pair, best_score = (u, v), score
+        tree.attach_leaf(tree.find_edge(*best_pair), name)
+    return tree

@@ -1,0 +1,101 @@
+"""Empirical protein model support: PAML-format rate matrix files.
+
+Protein data is the paper's first-listed future-work item ("support
+protein data", Sec. VII).  Real protein analyses use *empirical* models
+(WAG, LG, JTT, mtREV...) whose 190 exchangeabilities and 20 equilibrium
+frequencies are distributed as PAML ``.dat`` files — a lower-triangle
+matrix followed by a frequency line.  Rather than embedding (and
+possibly mistyping) those published constants, this module parses the
+standard file format, so any published ``.dat`` drops in unchanged; the
+test suite exercises the parser with synthetic matrices.
+
+File format (PAML / RAxML convention)::
+
+    s21
+    s31 s32
+    ...
+    s20,1 ... s20,19          # 19 lines of lower-triangle rates
+    pi1 pi2 ... pi20          # equilibrium frequencies
+
+Comments (lines starting with ``#``) and blank lines are ignored; the
+numbers may be split across lines arbitrarily (some published files wrap
+rows).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .models import SubstitutionModel
+
+__all__ = ["load_paml_matrix", "save_paml_matrix", "N_AA"]
+
+N_AA = 20
+_N_RATES = N_AA * (N_AA - 1) // 2  # 190
+_N_VALUES = _N_RATES + N_AA  # + frequencies
+
+
+def load_paml_matrix(source: str | Path, name: str | None = None) -> SubstitutionModel:
+    """Parse a PAML ``.dat`` empirical protein model file.
+
+    Returns a :class:`~repro.phylo.models.SubstitutionModel` with the
+    file's exchangeabilities (converted from lower-triangle to the
+    library's upper-triangle row-major order) and frequencies.
+    """
+    path = Path(source)
+    tokens: list[float] = []
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for tok in line.split():
+            try:
+                tokens.append(float(tok))
+            except ValueError as exc:
+                raise ValueError(
+                    f"non-numeric token {tok!r} in {path}"
+                ) from exc
+    if len(tokens) < _N_VALUES:
+        raise ValueError(
+            f"{path} holds {len(tokens)} numbers; a PAML protein matrix "
+            f"needs {_N_VALUES} (190 rates + 20 frequencies)"
+        )
+    rates_lower = tokens[:_N_RATES]
+    freqs = np.asarray(tokens[_N_RATES:_N_VALUES])
+
+    # lower-triangle (row i>j order) -> symmetric matrix -> upper triangle
+    m = np.zeros((N_AA, N_AA))
+    k = 0
+    for i in range(1, N_AA):
+        for j in range(i):
+            m[i, j] = rates_lower[k]
+            k += 1
+    m = m + m.T
+    iu = np.triu_indices(N_AA, k=1)
+    exchangeabilities = m[iu]
+    if np.any(exchangeabilities <= 0):
+        raise ValueError(f"{path} contains non-positive exchangeabilities")
+    freqs = freqs / freqs.sum()
+    return SubstitutionModel(
+        name=name or path.stem.upper(),
+        exchangeabilities=exchangeabilities,
+        frequencies=freqs,
+    )
+
+
+def save_paml_matrix(model: SubstitutionModel, path: str | Path) -> None:
+    """Write a 20-state model in PAML ``.dat`` format (for round-trips)."""
+    if model.n_states != N_AA:
+        raise ValueError(f"PAML format is for 20-state models, got {model.n_states}")
+    m = np.zeros((N_AA, N_AA))
+    iu = np.triu_indices(N_AA, k=1)
+    m[iu] = model.exchangeabilities
+    m = m + m.T
+    lines = []
+    for i in range(1, N_AA):
+        lines.append(" ".join(f"{m[i, j]:.6f}" for j in range(i)))
+    lines.append("")
+    lines.append(" ".join(f"{f:.6f}" for f in model.frequencies))
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,194 @@
+"""Character-state encodings for molecular data.
+
+RAxML and derived codes represent each tip character as a small integer
+*state code* whose binary expansion marks the set of compatible states
+(IUPAC ambiguity coding).  For DNA the codes are 4-bit masks:
+
+    A=0b0001  C=0b0010  G=0b0100  T=0b1000
+
+and ambiguity characters (``R`` = A|G, ``N`` = anything, ``-`` = gap =
+anything, ...) are unions of those bits.  Likelihood tip vectors are then
+simple 0/1 indicator vectors over the states, looked up by code — this is
+exactly the "tip vector lookup table" trick the paper's kernels exploit
+(tip cases of ``newview`` read a 16-entry table instead of a full CLA).
+
+This module provides :class:`StateSpace` descriptors for DNA and protein
+data plus the translation tables between text, codes, and indicator
+vectors.  Everything downstream (alignment compression, kernels,
+parsimony) works off these tables, so adding another data type only
+requires a new :class:`StateSpace` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "StateSpace",
+    "DNA",
+    "PROTEIN",
+    "dna_code",
+    "dna_char",
+]
+
+# IUPAC nucleotide ambiguity codes -> 4-bit state masks (A,C,G,T = bits 0..3).
+_DNA_CHAR_TO_CODE: dict[str, int] = {
+    "A": 0b0001,
+    "C": 0b0010,
+    "G": 0b0100,
+    "T": 0b1000,
+    "U": 0b1000,  # RNA uracil behaves like T
+    "R": 0b0101,  # A|G   purine
+    "Y": 0b1010,  # C|T   pyrimidine
+    "S": 0b0110,  # C|G
+    "W": 0b1001,  # A|T
+    "K": 0b1100,  # G|T
+    "M": 0b0011,  # A|C
+    "B": 0b1110,  # C|G|T
+    "D": 0b1101,  # A|G|T
+    "H": 0b1011,  # A|C|T
+    "V": 0b0111,  # A|C|G
+    "N": 0b1111,
+    "O": 0b1111,
+    "X": 0b1111,
+    "?": 0b1111,
+    "-": 0b1111,  # gaps are treated as fully ambiguous (RAxML convention)
+    ".": 0b1111,
+}
+
+_AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+
+_PROTEIN_AMBIGUITY: dict[str, tuple[str, ...]] = {
+    "B": ("N", "D"),
+    "Z": ("Q", "E"),
+    "J": ("I", "L"),
+    "X": tuple(_AMINO_ACIDS),
+    "?": tuple(_AMINO_ACIDS),
+    "-": tuple(_AMINO_ACIDS),
+    ".": tuple(_AMINO_ACIDS),
+    "U": ("C",),  # selenocysteine -> cysteine slot, common convention
+    "O": ("K",),  # pyrrolysine -> lysine slot
+}
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """Descriptor of a character-state alphabet.
+
+    Attributes
+    ----------
+    name:
+        Human-readable alphabet name (``"DNA"``, ``"PROTEIN"``).
+    n_states:
+        Number of elementary states (4 for DNA, 20 for protein).
+    char_to_code:
+        Mapping from (upper-case) text characters to integer bitmask
+        codes.  Bit ``i`` set means state ``i`` is compatible.
+    code_to_char:
+        Best-effort inverse mapping used when writing sequences back out.
+    """
+
+    name: str
+    n_states: int
+    char_to_code: dict[str, int]
+    code_to_char: dict[int, str]
+    _tip_table: np.ndarray = field(repr=False, compare=False, default=None)
+
+    @property
+    def undetermined(self) -> int:
+        """Code of the fully ambiguous character (gap / N / X)."""
+        return (1 << self.n_states) - 1
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Encode a text sequence into an array of bitmask codes.
+
+        Raises ``ValueError`` for characters outside the alphabet, naming
+        the offending character and position — silent coercion of typos
+        to gaps hides alignment bugs.
+        """
+        out = np.empty(len(sequence), dtype=np.uint32)
+        for i, ch in enumerate(sequence.upper()):
+            code = self.char_to_code.get(ch)
+            if code is None:
+                raise ValueError(
+                    f"invalid {self.name} character {ch!r} at position {i}"
+                )
+            out[i] = code
+        return out
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode bitmask codes back to text (ambiguities best-effort)."""
+        return "".join(self.code_to_char.get(int(c), "?") for c in codes)
+
+    def tip_table(self) -> np.ndarray:
+        """Return the ``(2**n_states, n_states)`` 0/1 tip-likelihood table.
+
+        Row ``code`` is the indicator vector of states compatible with
+        that code; row 0 (the impossible empty set) is all zeros and is
+        never produced by :meth:`encode`.  For DNA this is the 16x4 table
+        the paper's tip-case kernels index.  The table is cached on the
+        instance (it is tiny for DNA; for protein it would be 2**20 rows,
+        so we build it lazily and only for codes actually present — see
+        :meth:`tip_rows`).
+        """
+        if self.n_states > 8:
+            raise ValueError(
+                f"dense tip table infeasible for {self.n_states} states; "
+                "use tip_rows() for sparse lookup"
+            )
+        n_codes = 1 << self.n_states
+        table = np.zeros((n_codes, self.n_states), dtype=np.float64)
+        for code in range(n_codes):
+            for s in range(self.n_states):
+                if code & (1 << s):
+                    table[code, s] = 1.0
+        return table
+
+    def tip_rows(self, codes: np.ndarray) -> np.ndarray:
+        """Indicator vectors for an array of codes, ``(len(codes), n_states)``.
+
+        Works for any alphabet size (does not materialise the full
+        ``2**n_states`` table).
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        bits = (codes[:, None] >> np.arange(self.n_states, dtype=np.uint64)) & 1
+        return bits.astype(np.float64)
+
+
+def _build_dna() -> StateSpace:
+    code_to_char = {code: ch for ch, code in _DNA_CHAR_TO_CODE.items()}
+    # Prefer canonical letters for unambiguous states and '-' for gaps.
+    code_to_char[0b1111] = "-"
+    for ch in "ACGT":
+        code_to_char[_DNA_CHAR_TO_CODE[ch]] = ch
+    return StateSpace("DNA", 4, dict(_DNA_CHAR_TO_CODE), code_to_char)
+
+
+def _build_protein() -> StateSpace:
+    char_to_code: dict[str, int] = {}
+    for i, aa in enumerate(_AMINO_ACIDS):
+        char_to_code[aa] = 1 << i
+    for ch, members in _PROTEIN_AMBIGUITY.items():
+        code = 0
+        for aa in members:
+            code |= char_to_code[aa]
+        char_to_code[ch] = code
+    code_to_char = {1 << i: aa for i, aa in enumerate(_AMINO_ACIDS)}
+    code_to_char[(1 << 20) - 1] = "-"
+    return StateSpace("PROTEIN", 20, char_to_code, code_to_char)
+
+
+DNA = _build_dna()
+PROTEIN = _build_protein()
+
+
+def dna_code(ch: str) -> int:
+    """Bitmask code of a single DNA character (convenience wrapper)."""
+    return DNA.char_to_code[ch.upper()]
+
+
+def dna_char(code: int) -> str:
+    """Text character for a DNA bitmask code (convenience wrapper)."""
+    return DNA.code_to_char[code]

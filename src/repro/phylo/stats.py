@@ -1,0 +1,109 @@
+"""Alignment summary statistics.
+
+Descriptive statistics practitioners check before an analysis (and the
+``repro stats`` CLI surface): composition, gap/ambiguity content,
+constant and parsimony-informative site counts, and mean pairwise
+identity.  Nothing here affects inference; everything is reused by tests
+as independent cross-checks of the simulator (e.g. composition
+approaching the generating model's stationary frequencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alignment import Alignment, PatternAlignment
+
+__all__ = ["AlignmentStats", "alignment_stats"]
+
+
+@dataclass(frozen=True)
+class AlignmentStats:
+    """Summary statistics of one alignment."""
+
+    n_taxa: int
+    n_sites: int
+    n_patterns: int
+    base_composition: dict[str, float]  # unambiguous characters only
+    gap_fraction: float  # fully ambiguous characters (gaps, N, ...)
+    constant_fraction: float
+    informative_fraction: float  # parsimony-informative sites
+    mean_pairwise_identity: float
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering."""
+        comp = " ".join(f"{b}={f:.3f}" for b, f in self.base_composition.items())
+        return "\n".join(
+            [
+                f"taxa:                  {self.n_taxa}",
+                f"sites:                 {self.n_sites}",
+                f"patterns:              {self.n_patterns}",
+                f"composition:           {comp}",
+                f"gap/ambiguous:         {self.gap_fraction:.4f}",
+                f"constant sites:        {self.constant_fraction:.4f}",
+                f"parsimony-informative: {self.informative_fraction:.4f}",
+                f"mean pairwise identity:{self.mean_pairwise_identity: .4f}",
+            ]
+        )
+
+
+def alignment_stats(alignment: Alignment | PatternAlignment) -> AlignmentStats:
+    """Compute :class:`AlignmentStats` for a DNA alignment."""
+    patterns = (
+        alignment.compress() if isinstance(alignment, Alignment) else alignment
+    )
+    data = patterns.data
+    w = patterns.weights
+    total_chars = float(w.sum() * patterns.n_taxa)
+
+    # composition over unambiguous characters
+    comp = {}
+    unambiguous = 0.0
+    for ch, code in (("A", 1), ("C", 2), ("G", 4), ("T", 8)):
+        count = float(((data == code) * w[None, :]).sum())
+        comp[ch] = count
+        unambiguous += count
+    if unambiguous > 0:
+        comp = {ch: c / unambiguous for ch, c in comp.items()}
+    gap_fraction = 1.0 - unambiguous / total_chars
+
+    # constant columns: some state compatible with every row
+    mask = data[0].astype(np.uint64)
+    for row in data[1:]:
+        mask = mask & row.astype(np.uint64)
+    constant = float(np.dot((mask != 0).astype(float), w)) / w.sum()
+
+    # parsimony-informative: >= 2 states each present in >= 2 taxa
+    informative = np.zeros(patterns.n_patterns, dtype=bool)
+    counts = np.stack(
+        [(data == code).sum(axis=0) for code in (1, 2, 4, 8)]
+    )  # (4, patterns)
+    informative = (counts >= 2).sum(axis=0) >= 2
+    informative_fraction = float(np.dot(informative.astype(float), w)) / w.sum()
+
+    # mean pairwise identity over resolved positions
+    n = patterns.n_taxa
+    resolved = np.isin(data, (1, 2, 4, 8))
+    idents = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            both = resolved[i] & resolved[j]
+            tot = float(np.dot(both, w))
+            if tot == 0:
+                continue
+            same = float(np.dot(both & (data[i] == data[j]), w))
+            idents.append(same / tot)
+    mean_identity = float(np.mean(idents)) if idents else 1.0
+
+    return AlignmentStats(
+        n_taxa=patterns.n_taxa,
+        n_sites=patterns.n_sites,
+        n_patterns=patterns.n_patterns,
+        base_composition=comp,
+        gap_fraction=gap_fraction,
+        constant_fraction=constant,
+        informative_fraction=informative_fraction,
+        mean_pairwise_identity=mean_identity,
+    )

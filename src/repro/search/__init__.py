@@ -1,0 +1,59 @@
+"""Maximum-likelihood tree search (RAxML-Light / ExaML algorithm layer).
+
+Branch-length optimisation (Newton–Raphson on the ``derivativeSum`` /
+``derivativeCore`` kernel pair), model-parameter optimisation (Brent),
+lazy SPR rearrangements, and the full search driver whose kernel trace
+feeds the performance model.
+"""
+
+from .bootstrap import BootstrapResult, bootstrap_analysis, bootstrap_weights, support_values
+from .branch_opt import BranchOptResult, optimize_all_branches, optimize_branch
+from .checkpoint import Checkpoint, load_checkpoint, resume_engine, save_checkpoint
+from .epa import Placement, PlacementResult, place_queries, to_jplace
+from .model_opt import (
+    ModelOptResult,
+    optimize_alpha,
+    optimize_model,
+    optimize_pinv,
+    optimize_rates,
+)
+from .model_select import ModelFit, candidate_models, select_model
+from .nni import NniRoundStats, nni_round, nni_search
+from .raxml_light import SearchConfig, SearchResult, empirical_frequencies, ml_search
+from .spr import SprRoundStats, spr_round, spr_search
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_analysis",
+    "bootstrap_weights",
+    "support_values",
+    "BranchOptResult",
+    "optimize_all_branches",
+    "optimize_branch",
+    "Checkpoint",
+    "load_checkpoint",
+    "resume_engine",
+    "save_checkpoint",
+    "Placement",
+    "PlacementResult",
+    "place_queries",
+    "to_jplace",
+    "ModelOptResult",
+    "optimize_alpha",
+    "optimize_model",
+    "optimize_pinv",
+    "optimize_rates",
+    "ModelFit",
+    "candidate_models",
+    "select_model",
+    "NniRoundStats",
+    "nni_round",
+    "nni_search",
+    "SearchConfig",
+    "SearchResult",
+    "empirical_frequencies",
+    "ml_search",
+    "SprRoundStats",
+    "spr_round",
+    "spr_search",
+]

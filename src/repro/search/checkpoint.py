@@ -1,0 +1,131 @@
+"""Search checkpointing (ExaML's restart capability).
+
+ExaML writes binary checkpoints so multi-day supercomputer runs survive
+job-queue limits; the reproduction provides the same capability as a
+JSON snapshot of the search-relevant state — topology with branch
+lengths, substitution-model parameters, the Gamma shape, and the
+likelihood trajectory — restorable into a fresh engine.
+
+The checkpoint contains no CLAs (they are derived data and rebuild
+lazily on the first evaluation), which is also why ExaML checkpoints
+stay small next to its memory footprint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.engine import LikelihoodEngine
+from ..phylo.alignment import PatternAlignment
+from ..phylo.models import SubstitutionModel
+from ..phylo.rates import GammaRates
+from ..phylo.tree import Tree
+
+__all__ = ["Checkpoint", "save_checkpoint", "load_checkpoint", "resume_engine"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Restorable search state."""
+
+    newick: str
+    model_name: str
+    exchangeabilities: tuple[float, ...]
+    frequencies: tuple[float, ...]
+    alpha: float
+    n_rate_categories: int
+    lnl: float | None = None
+    stage: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "newick": self.newick,
+                "model_name": self.model_name,
+                "exchangeabilities": list(self.exchangeabilities),
+                "frequencies": list(self.frequencies),
+                "alpha": self.alpha,
+                "n_rate_categories": self.n_rate_categories,
+                "lnl": self.lnl,
+                "stage": self.stage,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        d = json.loads(text)
+        version = d.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        return cls(
+            newick=d["newick"],
+            model_name=d["model_name"],
+            exchangeabilities=tuple(d["exchangeabilities"]),
+            frequencies=tuple(d["frequencies"]),
+            alpha=float(d["alpha"]),
+            n_rate_categories=int(d["n_rate_categories"]),
+            lnl=d.get("lnl"),
+            stage=d.get("stage", ""),
+        )
+
+
+def save_checkpoint(
+    engine: LikelihoodEngine,
+    path: str | Path,
+    lnl: float | None = None,
+    stage: str = "",
+) -> Checkpoint:
+    """Snapshot an engine's search state to a JSON file."""
+    ckpt = Checkpoint(
+        newick=engine.tree.to_newick(precision=12),
+        model_name=engine.model.name,
+        exchangeabilities=tuple(float(x) for x in engine.model.exchangeabilities),
+        frequencies=tuple(float(x) for x in engine.model.frequencies),
+        alpha=float(engine.rates_model.alpha),
+        n_rate_categories=int(engine.rates_model.n_categories),
+        lnl=lnl,
+        stage=stage,
+    )
+    Path(path).write_text(ckpt.to_json())
+    return ckpt
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a checkpoint file."""
+    return Checkpoint.from_json(Path(path).read_text())
+
+
+def resume_engine(
+    patterns: PatternAlignment, checkpoint: Checkpoint
+) -> LikelihoodEngine:
+    """Rebuild an engine from a checkpoint over the original alignment.
+
+    The alignment itself is not stored in the checkpoint (it is the
+    immutable input, exactly as in ExaML, whose restarts re-read the
+    original PHYLIP file); taxon-set agreement is verified.
+    """
+    tree = Tree.from_newick(checkpoint.newick)
+    if set(tree.leaf_names()) != set(patterns.taxa):
+        raise ValueError(
+            "checkpoint tree taxa do not match the supplied alignment"
+        )
+    model = SubstitutionModel(
+        name=checkpoint.model_name,
+        exchangeabilities=np.asarray(checkpoint.exchangeabilities),
+        frequencies=np.asarray(checkpoint.frequencies),
+    )
+    gamma = GammaRates(
+        alpha=checkpoint.alpha, n_categories=checkpoint.n_rate_categories
+    )
+    return LikelihoodEngine(patterns, tree, model, gamma)

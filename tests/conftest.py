@@ -1,0 +1,33 @@
+"""Shared fixtures: small simulated datasets and engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LikelihoodEngine
+from repro.phylo import GammaRates, gtr, simulate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_sim():
+    """6-taxon, 200-site GTR+Gamma simulation (session-cached)."""
+    return simulate_dataset(n_taxa=6, n_sites=200, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def medium_sim():
+    """10-taxon, 400-site GTR+Gamma simulation (session-cached)."""
+    return simulate_dataset(n_taxa=10, n_sites=400, seed=99)
+
+
+@pytest.fixture()
+def small_engine(small_sim):
+    patterns = small_sim.alignment.compress()
+    model = gtr(
+        np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+        np.array([0.3, 0.2, 0.2, 0.3]),
+    )
+    return LikelihoodEngine(
+        patterns, small_sim.tree.copy(), model, GammaRates(0.8, 4)
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for alignment containers and pattern compression."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import Alignment, compress_patterns
+from repro.phylo.states import DNA
+
+
+def make(seqs: dict[str, str]) -> Alignment:
+    return Alignment.from_sequences(seqs)
+
+
+class TestAlignment:
+    def test_basic_construction(self):
+        aln = make({"a": "ACGT", "b": "AGGT"})
+        assert aln.n_taxa == 2
+        assert aln.n_sites == 4
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            make({"a": "ACGT", "b": "ACG"})
+
+    def test_rejects_duplicate_taxa(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alignment(["a", "a"], np.ones((2, 3), dtype=np.uint32))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            make({})
+
+    def test_sequence_roundtrip(self):
+        aln = make({"a": "ACGT-N", "b": "TTTTTT"})
+        assert aln.sequence("a") == "ACGT--"  # N decodes as gap-equivalent
+        assert aln.sequence("b") == "TTTTTT"
+
+
+class TestPatternCompression:
+    def test_identical_columns_merge(self):
+        aln = make({"a": "AAAC", "b": "GGGT"})
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 2
+        assert pat.n_sites == 4
+        np.testing.assert_array_equal(sorted(pat.weights), [1.0, 3.0])
+
+    def test_first_appearance_order(self):
+        aln = make({"a": "CAAC", "b": "TGGT"})
+        pat = compress_patterns(aln)
+        # first column (C/T) appears first
+        assert DNA.decode(pat.data[:, 0]) == "CT"
+        assert DNA.decode(pat.data[:, 1]) == "AG"
+
+    def test_weights_sum_to_sites(self):
+        rng = np.random.default_rng(0)
+        data = rng.choice([1, 2, 4, 8], size=(4, 200)).astype(np.uint32)
+        aln = Alignment(["a", "b", "c", "d"], data)
+        pat = compress_patterns(aln)
+        assert pat.weights.sum() == 200
+        assert pat.n_patterns <= 200
+
+    def test_site_to_pattern_mapping(self):
+        aln = make({"a": "ACAC", "b": "GTGT"})
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 2
+        # expansion reproduces the per-site values
+        per_pattern = np.array([10.0, 20.0])
+        expanded = pat.expand(per_pattern)
+        np.testing.assert_array_equal(expanded, [10.0, 20.0, 10.0, 20.0])
+
+    def test_all_unique_columns(self):
+        aln = make({"a": "ACGT", "b": "CGTA", "c": "GTAC"})
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 4
+        np.testing.assert_array_equal(pat.weights, np.ones(4))
+
+    def test_row_lookup(self):
+        aln = make({"x": "AAC", "y": "GGT"})
+        pat = compress_patterns(aln)
+        np.testing.assert_array_equal(pat.row("x"), DNA.encode("AC"))
+
+    def test_compress_method_equivalent(self):
+        aln = make({"a": "AAAC", "b": "GGGT"})
+        assert aln.compress().n_patterns == compress_patterns(aln).n_patterns
+
+    def test_likelihood_invariant_under_compression(self):
+        """Pattern compression must not change the likelihood."""
+        from repro.core import LikelihoodEngine
+        from repro.phylo import GammaRates, gtr, simulate_dataset
+
+        sim = simulate_dataset(n_taxa=5, n_sites=60, seed=3)
+        pat = sim.alignment.compress()
+        model = gtr()
+        eng = LikelihoodEngine(pat, sim.tree.copy(), model, GammaRates(1.0, 4))
+        lnl_compressed = eng.log_likelihood()
+
+        # uncompressed: weights all one
+        from repro.phylo.alignment import PatternAlignment
+
+        flat = PatternAlignment(
+            taxa=list(sim.alignment.taxa),
+            data=sim.alignment.data.copy(),
+            weights=np.ones(sim.alignment.n_sites),
+            site_to_pattern=np.arange(sim.alignment.n_sites),
+            states=sim.alignment.states,
+        )
+        eng2 = LikelihoodEngine(flat, sim.tree.copy(), model, GammaRates(1.0, 4))
+        assert eng2.log_likelihood() == pytest.approx(lnl_compressed, abs=1e-8)

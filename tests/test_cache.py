@@ -1,0 +1,115 @@
+"""Tests for the cache hierarchy model."""
+
+import pytest
+
+from repro.mic.cache import CacheLevel, MemoryHierarchy
+from repro.mic.memory import CACHE_LINE, DramModel
+
+
+def make_hierarchy(l1=1024, l2=4096, latency=100.0, bw=2.0):
+    return MemoryHierarchy(
+        CacheLevel("L1", l1, 2),
+        CacheLevel("L2", l2, 4),
+        DramModel("test", latency_cycles=latency, bytes_per_cycle_per_core=bw),
+    )
+
+
+class TestCacheLevel:
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheLevel("bad", 1000, 3)
+
+    def test_hit_after_fill(self):
+        c = CacheLevel("c", 1024, 2)
+        assert not c.lookup(5)
+        c.fill(5)
+        assert c.lookup(5)
+
+    def test_lru_eviction(self):
+        c = CacheLevel("c", 2 * CACHE_LINE, 2)  # one set, 2 ways
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)  # 0 most recent
+        victim = c.fill(2)
+        assert victim is not None and victim[0] == 1  # LRU evicted
+
+    def test_dirty_bit_preserved(self):
+        c = CacheLevel("c", 2 * CACHE_LINE, 2)
+        c.fill(0, dirty=True)
+        c.fill(1)
+        victim = c.fill(2)
+        assert victim == (0, True)
+
+
+class TestHierarchy:
+    def test_first_access_misses_to_dram(self):
+        h = make_hierarchy()
+        r = h.access(0, 8, is_write=False, now=0.0)
+        assert r.level == "DRAM"
+        assert r.stall_cycles == pytest.approx(100.0)
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access(0, 8, False, 0.0)
+        r = h.access(8, 8, False, 1.0)  # same line
+        assert r.level == "L1"
+        assert r.stall_cycles == 0.0
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy(l1=2 * CACHE_LINE, l2=64 * CACHE_LINE)
+        # touch enough lines to evict line 0 from the tiny L1
+        for line in range(8):
+            h.access(line * CACHE_LINE, 8, False, float(line))
+        r = h.access(0, 8, False, 100.0)
+        assert r.level == "L2"
+        assert 0 < r.stall_cycles < 100.0
+
+    def test_streaming_store_bypasses_caches(self):
+        h = make_hierarchy()
+        r = h.access(0, 64, True, 0.0, nontemporal=True)
+        assert r.stall_cycles == 0.0
+        assert r.dram_write_bytes == CACHE_LINE
+        assert r.dram_read_bytes == 0
+        # line was NOT cached
+        assert not h.l1.contains(0)
+
+    def test_write_allocate_rfo(self):
+        h = make_hierarchy()
+        r = h.access(0, 8, True, 0.0)
+        assert r.dram_read_bytes == CACHE_LINE  # RFO fill
+
+    def test_sw_prefetch_full_hiding(self):
+        h = make_hierarchy(latency=100.0)
+        h.register_prefetch(0, now=0.0)
+        r = h.access(0, 8, False, now=200.0)  # prefetch long complete
+        assert r.stall_cycles == 0.0
+        assert h.stats.prefetch_hits == 1
+
+    def test_sw_prefetch_partial_hiding(self):
+        h = make_hierarchy(latency=100.0)
+        h.register_prefetch(0, now=0.0)
+        r = h.access(0, 8, False, now=40.0)  # only 40 cycles elapsed
+        assert r.stall_cycles == pytest.approx(60.0)
+        assert h.stats.prefetch_late == 1
+
+    def test_hw_prefetcher_needs_training(self):
+        h = make_hierarchy(latency=100.0)
+        r0 = h.access(0 * CACHE_LINE, 8, False, 0.0)
+        r1 = h.access(1 * CACHE_LINE, 8, False, 1.0)
+        r2 = h.access(2 * CACHE_LINE, 8, False, 2.0)
+        assert r0.stall_cycles == 100.0
+        assert r1.stall_cycles == 100.0
+        assert r2.stall_cycles == 0.0  # stream detected after 2 misses
+
+    def test_multi_line_access_charges_both(self):
+        h = make_hierarchy()
+        r = h.access(CACHE_LINE - 8, 16, False, 0.0)  # straddles two lines
+        assert r.dram_read_bytes == 2 * CACHE_LINE
+
+    def test_flush_resets_state(self):
+        h = make_hierarchy()
+        h.access(0, 8, False, 0.0)
+        h.flush()
+        assert h.stats.dram_accesses == 0
+        r = h.access(0, 8, False, 0.0)
+        assert r.level == "DRAM"

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.phylo import Alignment, Tree, simulate_dataset, write_fasta, write_phylip
+
+
+@pytest.fixture(scope="module")
+def io_case(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    sim = simulate_dataset(n_taxa=7, n_sites=300, seed=31)
+    aln_path = tmp / "aln.phy"
+    write_phylip(sim.alignment, aln_path)
+    # reference / query split for placement
+    q = sim.alignment.taxa[2]
+    ref_tree = sim.tree.copy()
+    leaf = ref_tree.node_by_name(q)
+    pend = ref_tree.incident_edges(leaf)[0]
+    ref_tree.prune_subtree(pend, subtree_root=leaf)
+    ref_tree.remove_node(leaf)
+    ref = Alignment.from_sequences(
+        {t: sim.alignment.sequence(t) for t in sim.alignment.taxa if t != q}
+    )
+    ref_path = tmp / "ref.phy"
+    write_phylip(ref, ref_path)
+    tree_path = tmp / "ref.nwk"
+    tree_path.write_text(ref_tree.to_newick())
+    q_path = tmp / "q.fasta"
+    write_fasta(Alignment.from_sequences({q: sim.alignment.sequence(q)}), q_path)
+    return tmp, sim, aln_path, ref_path, tree_path, q_path, q
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("simulate", "search", "place", "kernels", "predict"):
+            args = {
+                "simulate": ["simulate", "--out", "x.phy"],
+                "search": ["search", "x.phy"],
+                "place": [
+                    "place", "--reference", "r", "--tree", "t", "--queries", "q",
+                ],
+                "kernels": ["kernels"],
+                "predict": ["predict", "--sites", "1000"],
+            }[cmd]
+            assert parser.parse_args(args).command == cmd
+
+
+class TestSimulate(object):
+    def test_writes_phylip_and_tree(self, tmp_path):
+        out = tmp_path / "sim.phy"
+        tree_out = tmp_path / "sim.nwk"
+        rc = main([
+            "simulate", "--taxa", "6", "--sites", "100", "--seed", "3",
+            "--out", str(out), "--tree-out", str(tree_out),
+        ])
+        assert rc == 0
+        from repro.phylo import read_phylip
+
+        aln = read_phylip(out)
+        assert aln.n_taxa == 6 and aln.n_sites == 100
+        tree = Tree.from_newick(tree_out.read_text())
+        assert tree.n_leaves == 6
+
+
+class TestSearch:
+    def test_search_writes_tree(self, io_case, tmp_path, capsys):
+        _, sim, aln_path, *_ = io_case
+        out = tmp_path / "ml.nwk"
+        rc = main([
+            "search", str(aln_path), "--out", str(out),
+            "--radius", "4", "--no-rates",
+        ])
+        assert rc == 0
+        tree = Tree.from_newick(out.read_text())
+        assert sorted(tree.leaf_names()) == sorted(sim.alignment.taxa)
+        captured = capsys.readouterr().out
+        assert "final lnL" in captured
+
+
+class TestPlace:
+    def test_place_writes_jplace(self, io_case, tmp_path, capsys):
+        _, sim, _, ref_path, tree_path, q_path, q = io_case
+        out = tmp_path / "out.jplace"
+        rc = main([
+            "place", "--reference", str(ref_path), "--tree", str(tree_path),
+            "--queries", str(q_path), "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 3
+        assert doc["placements"][0]["n"] == [q]
+        assert len(doc["placements"][0]["p"]) >= 1
+        # edge annotations present in the tree string
+        assert "{0}" in doc["tree"]
+        # weight ratios of reported placements sum to ~1
+        total = sum(row[2] for row in doc["placements"][0]["p"])
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestStats:
+    def test_stats_prints_summary(self, io_case, capsys):
+        _, _, aln_path, *_ = io_case
+        rc = main(["stats", str(aln_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "patterns" in out
+        assert "composition" in out
+
+
+class TestNjStart:
+    def test_search_with_nj_start(self, io_case, tmp_path, capsys):
+        _, sim, aln_path, *_ = io_case
+        out = tmp_path / "nj_ml.nwk"
+        rc = main([
+            "search", str(aln_path), "--out", str(out),
+            "--radius", "3", "--no-rates", "--start", "nj",
+        ])
+        assert rc == 0
+        assert "neighbor joining" in capsys.readouterr().out
+        tree = Tree.from_newick(out.read_text())
+        assert sorted(tree.leaf_names()) == sorted(sim.alignment.taxa)
+
+
+class TestPredict:
+    @pytest.mark.parametrize("system", ["cpu2630", "cpu2680", "mic1", "mic2"])
+    def test_predict_reports(self, system, capsys):
+        rc = main(["predict", "--sites", "100000", "--system", system])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup vs 2S E5-2680" in out
+        assert "energy" in out
+
+
+class TestKernels:
+    def test_kernels_prints_figure3(self, capsys):
+        rc = main(["kernels"])
+        assert rc == 0
+        assert "derivative_sum" in capsys.readouterr().out

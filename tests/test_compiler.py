@@ -1,0 +1,143 @@
+"""Tests for the auto-vectorizer and intrinsics builder (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.figure2 import figure2_programs
+from repro.mic import MIC512, AVX256, Op
+from repro.mic.compiler import ArrayRef, Intrinsics, Loop, auto_vectorize, can_vectorize
+from repro.mic.device import xeon_phi_device
+
+
+@pytest.fixture()
+def vm():
+    return xeon_phi_device().make_vm()
+
+
+def arrays_for(vm, *names, n=16):
+    return {name: vm.alloc(n) for name in names}
+
+
+class TestVectorizationConditions:
+    def test_vectorizes_with_pragmas(self):
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "ivdep", "vector aligned"
+        )
+        assert can_vectorize(loop, MIC512).vectorized
+
+    def test_refuses_without_ivdep(self):
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "vector aligned"
+        )
+        report = can_vectorize(loop, MIC512)
+        assert not report.vectorized
+        assert "ivdep" in report.reason
+
+    def test_refuses_without_alignment(self):
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas("ivdep")
+        report = can_vectorize(loop, MIC512)
+        assert not report.vectorized
+        assert "aligned" in report.reason
+
+    def test_refuses_non_innermost(self):
+        loop = Loop(16, "s", ArrayRef("a") * ArrayRef("b"), innermost=False)
+        assert "innermost" in can_vectorize(loop, MIC512).reason
+
+    def test_refuses_bad_trip_count(self):
+        loop = Loop(13, "s", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "ivdep", "vector aligned"
+        )
+        assert "trip count" in can_vectorize(loop, MIC512).reason
+
+    def test_output_aliasing_reported(self):
+        loop = Loop(16, "a", ArrayRef("a") * ArrayRef("b"))
+        assert "dependency" in can_vectorize(loop, MIC512).reason
+
+
+class TestCodegen:
+    def test_vectorized_correctness(self, vm):
+        arrays = arrays_for(vm, "a", "b", "sum")
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        vm.write_array(arrays["a"], a)
+        vm.write_array(arrays["b"], b)
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "ivdep", "vector aligned"
+        )
+        prog, report = auto_vectorize(loop, arrays, MIC512)
+        assert report.vectorized
+        vm.run(prog)
+        np.testing.assert_allclose(vm.read_array(arrays["sum"], 16), a * b)
+
+    def test_scalar_fallback_correctness(self, vm):
+        arrays = arrays_for(vm, "a", "b", "sum")
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        vm.write_array(arrays["a"], a)
+        vm.write_array(arrays["b"], b)
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b"))  # no pragmas
+        prog, report = auto_vectorize(loop, arrays, MIC512)
+        assert not report.vectorized
+        vm.run(prog)
+        np.testing.assert_allclose(vm.read_array(arrays["sum"], 16), a * b)
+
+    def test_scalar_fallback_is_slower(self, vm):
+        arrays = arrays_for(vm, "a", "b", "sum", n=64)
+        loop = Loop(64, "sum", ArrayRef("a") * ArrayRef("b"))
+        scalar, _ = auto_vectorize(loop, arrays, MIC512)
+        vec, _ = auto_vectorize(
+            loop.with_pragmas("ivdep", "vector aligned"), arrays, MIC512
+        )
+        t_scalar = vm.run(scalar).issue_cycles
+        t_vec = vm.run(vec).issue_cycles
+        assert t_scalar > 2.5 * t_vec
+
+    def test_nontemporal_pragma_uses_streaming_store(self, vm):
+        arrays = arrays_for(vm, "a", "b", "sum")
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "ivdep", "vector aligned", "vector nontemporal"
+        )
+        prog, _ = auto_vectorize(loop, arrays, MIC512)
+        ops = [i.op for i in prog.instructions]
+        assert Op.VSTORE_NT in ops and Op.VSTORE not in ops
+
+    def test_avx_width_respected(self, vm):
+        arrays = arrays_for(vm, "a", "b", "sum")
+        loop = Loop(16, "sum", ArrayRef("a") * ArrayRef("b")).with_pragmas(
+            "ivdep", "vector aligned"
+        )
+        prog, _ = auto_vectorize(loop, arrays, AVX256)
+        # 16 doubles at width 4 -> 4 chunks x (2 loads + mul + store)
+        assert len(prog) == 16
+
+    def test_fma_folding(self, vm):
+        arrays = arrays_for(vm, "a", "b", "c", "out")
+        expr = ArrayRef("a") * ArrayRef("b") + ArrayRef("c")
+        loop = Loop(16, "out", expr).with_pragmas("ivdep", "vector aligned")
+        prog, _ = auto_vectorize(loop, arrays, MIC512)
+        assert any(i.op is Op.VFMA for i in prog.instructions)
+
+
+class TestFigure2:
+    def test_pragma_and_intrinsics_identical(self):
+        pragma_prog, intr_prog, _, _ = figure2_programs()
+        assert pragma_prog.disassembly() == intr_prog.disassembly()
+
+    def test_figure2_numerics(self):
+        pragma_prog, _, vm, arrays = figure2_programs()
+        left = np.arange(1.0, 17.0)
+        right = np.full(16, 3.0)
+        vm.write_array(arrays["left"], left)
+        vm.write_array(arrays["right"], right)
+        vm.run(pragma_prog)
+        np.testing.assert_array_equal(
+            vm.read_array(arrays["sum"], 16), left * right
+        )
+
+    def test_intrinsics_builder_register_allocation(self):
+        intr = Intrinsics(MIC512)
+        r0 = intr.load_pd(0)
+        r1 = intr.load_pd(64)
+        assert (r0, r1) == ("v0", "v1")
+        intr.reset_registers()
+        assert intr.load_pd(128) == "v0"

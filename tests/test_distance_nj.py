@@ -1,0 +1,222 @@
+"""Tests for distance matrices, neighbor joining, stats, model selection."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Alignment,
+    Tree,
+    alignment_stats,
+    jc_distance,
+    k2p_distance,
+    neighbor_joining,
+    p_distance,
+    simulate_dataset,
+)
+from repro.search import ml_search, SearchConfig, select_model
+
+
+class TestPDistance:
+    def test_identical_sequences_zero(self):
+        aln = Alignment.from_sequences({"a": "ACGT", "b": "ACGT"})
+        d, taxa = p_distance(aln)
+        assert d[0, 1] == 0.0
+
+    def test_all_different(self):
+        aln = Alignment.from_sequences({"a": "AAAA", "b": "CCCC"})
+        d, _ = p_distance(aln)
+        assert d[0, 1] == 1.0
+
+    def test_ambiguous_sites_skipped(self):
+        aln = Alignment.from_sequences({"a": "ACNN", "b": "AGNN"})
+        d, _ = p_distance(aln)
+        assert d[0, 1] == pytest.approx(0.5)  # 1 diff of 2 resolved
+
+    def test_no_comparable_sites_raises(self):
+        aln = Alignment.from_sequences({"a": "NN", "b": "AC"})
+        with pytest.raises(ValueError, match="comparable"):
+            p_distance(aln)
+
+    def test_symmetric_zero_diagonal(self):
+        sim = simulate_dataset(n_taxa=6, n_sites=200, seed=1)
+        d, _ = p_distance(sim.alignment)
+        np.testing.assert_array_equal(d, d.T)
+        np.testing.assert_array_equal(np.diag(d), 0.0)
+
+
+class TestCorrections:
+    def test_jc_exceeds_p(self):
+        sim = simulate_dataset(n_taxa=5, n_sites=500, seed=2)
+        p, _ = p_distance(sim.alignment)
+        jc, _ = jc_distance(sim.alignment)
+        off = ~np.eye(5, dtype=bool)
+        assert np.all(jc[off] >= p[off])
+
+    def test_jc_saturation_clamped(self):
+        # maximally different sequences: p = 1 -> correction diverges
+        aln = Alignment.from_sequences({"a": "AAAA", "b": "CCCC"})
+        d, _ = jc_distance(aln)
+        assert np.isfinite(d[0, 1])
+        assert d[0, 1] == 5.0
+
+    def test_k2p_close_to_jc_for_balanced_changes(self):
+        sim = simulate_dataset(n_taxa=5, n_sites=2000, seed=3)
+        jc, _ = jc_distance(sim.alignment)
+        k2p, _ = k2p_distance(sim.alignment)
+        off = ~np.eye(5, dtype=bool)
+        ratio = k2p[off] / np.maximum(jc[off], 1e-9)
+        assert np.all((ratio > 0.8) & (ratio < 1.4))
+
+
+class TestNeighborJoining:
+    def test_consistent_on_additive_distances(self):
+        sim = simulate_dataset(n_taxa=12, n_sites=50, seed=4)
+        tree = sim.tree
+        leaves = tree.leaves()
+        names = [tree.name(l) for l in leaves]
+        n = len(leaves)
+        d = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d[i, j] = d[j, i] = sum(
+                    tree.edge(e).length
+                    for e in tree.path_edges(leaves[i], leaves[j])
+                )
+        nj = neighbor_joining(d, names)
+        assert nj.robinson_foulds(tree) == 0
+
+    def test_branch_lengths_recovered_on_additive_input(self):
+        tree = Tree.from_newick("((a:0.1,b:0.2):0.3,(c:0.15,d:0.25):0.05);")
+        leaves = tree.leaves()
+        names = [tree.name(l) for l in leaves]
+        n = len(leaves)
+        d = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                d[i, j] = d[j, i] = sum(
+                    tree.edge(e).length
+                    for e in tree.path_edges(leaves[i], leaves[j])
+                )
+        nj = neighbor_joining(d, names)
+        assert nj.total_branch_length() == pytest.approx(
+            tree.total_branch_length(), rel=1e-6
+        )
+
+    def test_recovers_topology_from_data(self):
+        sim = simulate_dataset(n_taxa=9, n_sites=3000, seed=5)
+        d, taxa = jc_distance(sim.alignment)
+        nj = neighbor_joining(d, taxa)
+        assert nj.robinson_foulds(sim.tree) == 0
+
+    def test_as_ml_starting_tree(self):
+        sim = simulate_dataset(n_taxa=7, n_sites=400, seed=6)
+        d, taxa = jc_distance(sim.alignment)
+        start = neighbor_joining(d, taxa)
+        result = ml_search(
+            sim.alignment,
+            starting_tree=start,
+            config=SearchConfig(radii=(3,), max_spr_rounds=2),
+        )
+        assert result.tree.robinson_foulds(sim.tree) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            neighbor_joining(np.array([[0, 1.0], [2.0, 0]]), ["a", "b"])
+        with pytest.raises(ValueError, match="taxa"):
+            neighbor_joining(np.zeros((3, 3)), ["a", "b"])
+
+    def test_two_and_three_taxa(self):
+        d2 = np.array([[0.0, 0.3], [0.3, 0.0]])
+        t2 = neighbor_joining(d2, ["a", "b"])
+        assert t2.n_leaves == 2
+        d3 = np.array([[0, 0.2, 0.3], [0.2, 0, 0.25], [0.3, 0.25, 0]])
+        t3 = neighbor_joining(d3, ["a", "b", "c"])
+        t3.check()
+
+
+class TestAlignmentStats:
+    def test_composition_matches_generator(self):
+        from repro.phylo import Tree, gtr, simulate_alignment
+
+        freqs = np.array([0.4, 0.1, 0.2, 0.3])
+        tree = Tree.from_newick("(a:2.0,b:2.0,c:2.0);")
+        rng = np.random.default_rng(0)
+        sim = simulate_alignment(tree, gtr(np.ones(6), freqs), 20_000, rng)
+        stats = alignment_stats(sim.alignment)
+        assert stats.base_composition["A"] == pytest.approx(0.4, abs=0.02)
+        assert stats.base_composition["T"] == pytest.approx(0.3, abs=0.02)
+
+    def test_constant_and_informative(self):
+        aln = Alignment.from_sequences(
+            {"a": "AACA", "b": "AACC", "c": "AAGA", "d": "AAGC"}
+        )
+        stats = alignment_stats(aln)
+        assert stats.constant_fraction == pytest.approx(0.5)  # cols 1,2
+        # col 3 (C/C/G/G) and col 4 (A/C/A/C) are informative
+        assert stats.informative_fraction == pytest.approx(0.5)
+
+    def test_gap_fraction(self):
+        aln = Alignment.from_sequences({"a": "AC-N", "b": "ACGT"})
+        stats = alignment_stats(aln)
+        assert stats.gap_fraction == pytest.approx(2 / 8)
+
+    def test_summary_renders(self):
+        sim = simulate_dataset(n_taxa=4, n_sites=100, seed=7)
+        text = alignment_stats(sim.alignment).summary()
+        assert "patterns" in text
+
+
+class TestModelSelection:
+    @pytest.fixture(scope="class")
+    def gtr_data(self):
+        # strongly non-JC data: skewed frequencies, strong transition bias
+        from repro.phylo import gtr as gtr_model
+
+        return simulate_dataset(
+            n_taxa=6,
+            n_sites=2000,
+            seed=8,
+            model=gtr_model(
+                np.array([1.0, 8.0, 1.0, 1.0, 8.0, 1.0]),
+                np.array([0.4, 0.1, 0.1, 0.4]),
+            ),
+            alpha=0.3,
+        )
+
+    def test_prefers_rich_model_on_gtr_data(self, gtr_data):
+        pat = gtr_data.alignment.compress()
+        best, fits = select_model(pat, gtr_data.tree, criterion="bic")
+        assert "+G" in best.name
+        assert best.name.startswith(("GTR", "HKY85", "K80"))
+        # JC without gamma must rank worse than the winner
+        jc_plain = next(f for f in fits if f.name == "JC69")
+        assert jc_plain.bic > best.bic
+
+    def test_fits_sorted_by_criterion(self, gtr_data):
+        pat = gtr_data.alignment.compress()
+        _, fits = select_model(pat, gtr_data.tree, criterion="aic")
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_parameter_counts_ordered(self, gtr_data):
+        pat = gtr_data.alignment.compress()
+        _, fits = select_model(pat, gtr_data.tree)
+        by_name = {f.name: f for f in fits}
+        assert by_name["JC69"].n_parameters < by_name["GTR"].n_parameters
+        assert by_name["GTR"].n_parameters < by_name["GTR+G"].n_parameters
+
+    def test_unknown_criterion(self, gtr_data):
+        pat = gtr_data.alignment.compress()
+        with pytest.raises(ValueError, match="criterion"):
+            select_model(pat, gtr_data.tree, criterion="magic")
+
+    def test_nested_model_likelihoods_ordered(self, gtr_data):
+        """JC <= K80 <= HKY <= GTR in lnL (each nests the previous)."""
+        pat = gtr_data.alignment.compress()
+        _, fits = select_model(pat, gtr_data.tree)
+        by_name = {f.name: f for f in fits}
+        tol = 0.6  # small optimiser slack
+        assert by_name["K80"].lnl >= by_name["JC69"].lnl - tol
+        assert by_name["HKY85"].lnl >= by_name["K80"].lnl - tol
+        assert by_name["GTR"].lnl >= by_name["HKY85"].lnl - tol
+        assert by_name["GTR+G"].lnl >= by_name["GTR"].lnl - tol

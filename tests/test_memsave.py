@@ -1,0 +1,125 @@
+"""Tests for the memory-saving (CLA recomputation) engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import LikelihoodEngine
+from repro.core.memsave import MemorySavingEngine
+from repro.phylo import GammaRates, gtr, simulate_dataset
+from repro.search import optimize_all_branches, spr_round
+
+
+@pytest.fixture(scope="module")
+def problem():
+    sim = simulate_dataset(n_taxa=20, n_sites=150, seed=33)
+    pat = sim.alignment.compress()
+    return sim, pat, gtr(), GammaRates(0.8, 4)
+
+
+class TestExactness:
+    def test_matches_full_engine(self, problem):
+        sim, pat, model, gamma = problem
+        full = LikelihoodEngine(pat, sim.tree.copy(), model, gamma)
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=4
+        )
+        assert save.log_likelihood() == pytest.approx(
+            full.log_likelihood(), abs=1e-10
+        )
+
+    def test_every_root_edge_exact(self, problem):
+        sim, pat, model, gamma = problem
+        full = LikelihoodEngine(pat, sim.tree.copy(), model, gamma)
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=4
+        )
+        reference = full.log_likelihood()
+        for e in save.tree.edge_ids:
+            assert save.log_likelihood(e) == pytest.approx(reference, abs=1e-9)
+
+    def test_minimum_budget_on_larger_tree(self):
+        sim = simulate_dataset(n_taxa=40, n_sites=80, seed=1)
+        pat = sim.alignment.compress()
+        full = LikelihoodEngine(pat, sim.tree.copy(), gtr(), GammaRates(1.0, 4))
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), gtr(), GammaRates(1.0, 4), max_resident=3
+        )
+        assert save.log_likelihood() == pytest.approx(
+            full.log_likelihood(), abs=1e-9
+        )
+
+    def test_branch_optimization_identical(self, problem):
+        sim, pat, model, gamma = problem
+        full = LikelihoodEngine(pat, sim.tree.copy(), model, gamma)
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=5
+        )
+        lnl_full = optimize_all_branches(full, passes=1)
+        lnl_save = optimize_all_branches(save, passes=1)
+        assert lnl_save == pytest.approx(lnl_full, abs=1e-8)
+
+    def test_spr_round_runs_under_pressure(self, problem):
+        sim, pat, model, gamma = problem
+        from repro.phylo import random_topology
+
+        bad = random_topology(list(pat.taxa), np.random.default_rng(2))
+        save = MemorySavingEngine(pat, bad, model, gamma, max_resident=5)
+        optimize_all_branches(save, passes=1)
+        stats = spr_round(save, radius=3)
+        assert stats.lnl_after >= stats.lnl_before
+
+
+class TestBudget:
+    def test_residency_capped(self, problem):
+        sim, pat, model, gamma = problem
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=4
+        )
+        for e in save.tree.edge_ids:
+            save.log_likelihood(e)
+            assert save.resident_clas() <= 4
+
+    def test_recomputation_counted(self, problem):
+        sim, pat, model, gamma = problem
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=4
+        )
+        for e in save.tree.edge_ids:
+            save.log_likelihood(e)
+        assert save.recomputed_clas > 0
+
+    def test_more_newviews_than_full_engine(self, problem):
+        sim, pat, model, gamma = problem
+        full = LikelihoodEngine(pat, sim.tree.copy(), model, gamma)
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=4
+        )
+        for e in sorted(sim.tree.edge_ids):
+            full.log_likelihood(e)
+            save.log_likelihood(e)
+        assert (
+            save.counters.merged()["newview"] > full.counters.merged()["newview"]
+        )
+
+    def test_large_budget_avoids_recomputation(self, problem):
+        sim, pat, model, gamma = problem
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=100
+        )
+        for e in save.tree.edge_ids:
+            save.log_likelihood(e)
+        assert save.recomputed_clas == 0
+
+    def test_memory_fraction(self, problem):
+        sim, pat, model, gamma = problem
+        save = MemorySavingEngine(
+            pat, sim.tree.copy(), model, gamma, max_resident=6
+        )
+        assert save.memory_fraction() == pytest.approx(6 / 18)
+
+    def test_minimum_validated(self, problem):
+        sim, pat, model, gamma = problem
+        with pytest.raises(ValueError, match="at least 3"):
+            MemorySavingEngine(
+                pat, sim.tree.copy(), model, gamma, max_resident=2
+            )

@@ -1,0 +1,142 @@
+"""Unit tests for substitution models and eigensystems."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.phylo.models import (
+    SubstitutionModel,
+    gtr,
+    hky85,
+    jc69,
+    k80,
+    poisson_protein,
+)
+
+
+def random_gtr(seed: int) -> SubstitutionModel:
+    rng = np.random.default_rng(seed)
+    ex = rng.uniform(0.2, 5.0, size=6)
+    pi = rng.dirichlet(np.ones(4) * 5)
+    return gtr(ex, pi)
+
+
+class TestRateMatrix:
+    def test_rows_sum_to_zero(self):
+        q = random_gtr(1).rate_matrix()
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_normalised_to_unit_rate(self):
+        m = random_gtr(2)
+        q = m.rate_matrix()
+        rate = -np.dot(m.frequencies, np.diag(q))
+        assert rate == pytest.approx(1.0)
+
+    def test_detailed_balance(self):
+        m = random_gtr(3)
+        q = m.rate_matrix()
+        pi = m.frequencies
+        flux = pi[:, None] * q
+        np.testing.assert_allclose(flux, flux.T, atol=1e-12)
+
+    def test_stationary_distribution(self):
+        m = random_gtr(4)
+        q = m.rate_matrix()
+        np.testing.assert_allclose(m.frequencies @ q, 0.0, atol=1e-12)
+
+    def test_jc69_off_diagonals_equal(self):
+        q = jc69().rate_matrix()
+        off = q[~np.eye(4, dtype=bool)]
+        np.testing.assert_allclose(off, off[0])
+
+
+class TestValidation:
+    def test_wrong_exchangeability_count(self):
+        with pytest.raises(ValueError, match="exchangeabilities"):
+            SubstitutionModel("bad", np.ones(5), np.full(4, 0.25))
+
+    def test_negative_rate_rejected(self):
+        ex = np.ones(6)
+        ex[2] = -1
+        with pytest.raises(ValueError, match="positive"):
+            SubstitutionModel("bad", ex, np.full(4, 0.25))
+
+    def test_frequencies_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            SubstitutionModel("bad", np.ones(6), np.array([0.3, 0.3, 0.3, 0.3]))
+
+
+class TestEigenSystem:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_transition_matrix_matches_expm(self, seed):
+        m = random_gtr(seed)
+        eig = m.eigen()
+        q = m.rate_matrix()
+        for t in (0.01, 0.1, 1.0, 5.0):
+            np.testing.assert_allclose(
+                eig.transition_matrix(t), expm(q * t), atol=1e-10
+            )
+
+    def test_p_zero_is_identity(self):
+        eig = random_gtr(5).eigen()
+        np.testing.assert_allclose(eig.transition_matrix(0.0), np.eye(4), atol=1e-12)
+
+    def test_p_rows_are_distributions(self):
+        eig = random_gtr(6).eigen()
+        p = eig.transition_matrix(0.7)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-10)
+        assert np.all(p >= -1e-12)
+
+    def test_p_infinity_approaches_stationary(self):
+        m = random_gtr(7)
+        p = m.eigen().transition_matrix(500.0)
+        for row in p:
+            np.testing.assert_allclose(row, m.frequencies, atol=1e-8)
+
+    def test_chapman_kolmogorov(self):
+        eig = random_gtr(8).eigen()
+        p1 = eig.transition_matrix(0.3)
+        p2 = eig.transition_matrix(0.5)
+        np.testing.assert_allclose(p1 @ p2, eig.transition_matrix(0.8), atol=1e-10)
+
+    def test_orthogonality_identity(self):
+        """U^T diag(pi) U = I — the identity the kernels rely on."""
+        m = random_gtr(9)
+        eig = m.eigen()
+        w = eig.u.T @ np.diag(m.frequencies) @ eig.u
+        np.testing.assert_allclose(w, np.eye(4), atol=1e-10)
+
+    def test_u_uinv_are_inverses(self):
+        eig = random_gtr(10).eigen()
+        np.testing.assert_allclose(eig.u @ eig.u_inv, np.eye(4), atol=1e-10)
+
+    def test_batched_matches_scalar(self):
+        eig = random_gtr(11).eigen()
+        ts = np.array([0.1, 0.2, 0.9])
+        batched = eig.transition_matrices(ts)
+        for i, t in enumerate(ts):
+            np.testing.assert_allclose(batched[i], eig.transition_matrix(t))
+
+    def test_negative_branch_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            random_gtr(12).eigen().transition_matrix(-0.1)
+
+
+class TestNamedModels:
+    def test_k80_transition_bias(self):
+        q = k80(kappa=5.0).rate_matrix()
+        # A<->G (transition) rate should be 5x A<->C (transversion)
+        assert q[0, 2] / q[0, 1] == pytest.approx(5.0)
+
+    def test_hky_uses_frequencies(self):
+        pi = np.array([0.4, 0.3, 0.2, 0.1])
+        m = hky85(2.0, pi)
+        np.testing.assert_allclose(m.frequencies, pi)
+
+    def test_protein_model(self):
+        m = poisson_protein()
+        assert m.n_states == 20
+        q = m.rate_matrix()
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-12)
+        p = m.eigen().transition_matrix(0.5)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-10)

@@ -1,0 +1,104 @@
+"""Tests for Fitch parsimony and stepwise-addition starting trees."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Alignment,
+    Tree,
+    fitch_score,
+    simulate_dataset,
+    stepwise_addition_tree,
+)
+
+
+def patterns_of(seqs: dict[str, str]):
+    return Alignment.from_sequences(seqs).compress()
+
+
+class TestFitchScore:
+    def test_constant_columns_cost_zero(self):
+        pat = patterns_of({"a": "AAAA", "b": "AAAA", "c": "AAAA"})
+        tree = Tree.from_newick("(a,b,c);")
+        assert fitch_score(tree, pat) == 0
+
+    def test_single_mutation_column(self):
+        pat = patterns_of({"a": "A", "b": "A", "c": "C"})
+        tree = Tree.from_newick("(a,b,c);")
+        assert fitch_score(tree, pat) == 1
+
+    def test_weights_respected(self):
+        # same column repeated 5 times = weight 5
+        pat = patterns_of({"a": "AAAAA", "b": "CCCCC"})
+        tree = Tree.from_newick("(a:1,b:1);")
+        assert fitch_score(tree, pat) == 5
+
+    def test_ambiguity_costs_nothing_when_compatible(self):
+        pat = patterns_of({"a": "A", "b": "N", "c": "A"})
+        tree = Tree.from_newick("(a,b,c);")
+        assert fitch_score(tree, pat) == 0
+
+    def test_known_quartet_example(self):
+        # classic: ((a,b),(c,d)) with a=b=A, c=d=C needs exactly 1 change
+        pat = patterns_of({"a": "A", "b": "A", "c": "C", "d": "C"})
+        good = Tree.from_newick("((a,b),(c,d));")
+        bad = Tree.from_newick("((a,c),(b,d));")
+        assert fitch_score(good, pat) == 1
+        assert fitch_score(bad, pat) == 2
+
+    def test_score_depends_on_topology(self):
+        sim = simulate_dataset(n_taxa=8, n_sites=300, seed=17)
+        pat = sim.alignment.compress()
+        scores = set()
+        rng = np.random.default_rng(0)
+        from repro.phylo import random_topology
+
+        for seed in range(5):
+            t = random_topology(list(pat.taxa), np.random.default_rng(seed))
+            scores.add(fitch_score(t, pat))
+        assert len(scores) > 1
+
+
+class TestStepwiseAddition:
+    def test_builds_valid_binary_tree(self):
+        sim = simulate_dataset(n_taxa=10, n_sites=200, seed=8)
+        pat = sim.alignment.compress()
+        tree = stepwise_addition_tree(pat, np.random.default_rng(0))
+        tree.check()
+        assert sorted(tree.leaf_names()) == sorted(pat.taxa)
+
+    def test_better_than_random(self):
+        from repro.phylo import random_topology
+
+        sim = simulate_dataset(n_taxa=10, n_sites=400, seed=9)
+        pat = sim.alignment.compress()
+        sw = stepwise_addition_tree(pat, np.random.default_rng(0))
+        sw_score = fitch_score(sw, pat)
+        random_scores = [
+            fitch_score(
+                random_topology(list(pat.taxa), np.random.default_rng(s)), pat
+            )
+            for s in range(5)
+        ]
+        assert sw_score <= min(random_scores)
+
+    def test_recovers_easy_topology(self):
+        """With clean data, stepwise addition finds the true tree."""
+        sim = simulate_dataset(n_taxa=7, n_sites=2000, seed=10)
+        pat = sim.alignment.compress()
+        tree = stepwise_addition_tree(pat, np.random.default_rng(1))
+        assert tree.robinson_foulds(sim.tree) <= 2
+
+    def test_two_and_three_taxa(self):
+        pat2 = patterns_of({"a": "ACGT", "b": "ACGA"})
+        t2 = stepwise_addition_tree(pat2, np.random.default_rng(0))
+        assert t2.n_leaves == 2
+        pat3 = patterns_of({"a": "ACGT", "b": "ACGA", "c": "ACTT"})
+        t3 = stepwise_addition_tree(pat3, np.random.default_rng(0))
+        t3.check()
+        assert t3.n_leaves == 3
+
+    def test_too_few_taxa_rejected(self):
+        pat = patterns_of({"a": "ACGT"})
+        with pytest.raises(ValueError, match="at least 2"):
+            stepwise_addition_tree(pat, np.random.default_rng(0))

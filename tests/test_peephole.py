@@ -1,0 +1,118 @@
+"""Tests for the peephole optimiser: semantics preserved, work removed."""
+
+import numpy as np
+import pytest
+
+from repro.mic import MIC512, Instruction, Op, VectorProgram, xeon_phi_device
+from repro.mic.compiler import ArrayRef, Loop, auto_vectorize
+from repro.mic.peephole import (
+    eliminate_dead_stores,
+    eliminate_redundant_loads,
+    optimize_program,
+)
+
+
+@pytest.fixture()
+def vm():
+    return xeon_phi_device().make_vm()
+
+
+class TestRedundantLoadElimination:
+    def test_same_address_loaded_twice(self, vm):
+        a = vm.alloc(8)
+        vm.write_array(a, np.arange(8.0))
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+        prog.emit(Instruction(Op.VLOAD, dest="v1", addr=a))  # redundant
+        prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+        res = eliminate_redundant_loads(prog, MIC512)
+        assert res.instructions_removed == 1
+        vm.run(res.program)
+        np.testing.assert_array_equal(vm.vreg("v2"), np.arange(8.0) ** 2)
+
+    def test_store_invalidates(self, vm):
+        a = vm.alloc(8)
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+        prog.emit(Instruction(Op.VSET, dest="v9", values=(1.0,) * 8))
+        prog.emit(Instruction(Op.VSTORE, srcs=("v9",), addr=a))
+        prog.emit(Instruction(Op.VLOAD, dest="v1", addr=a))  # NOT redundant
+        res = eliminate_redundant_loads(prog, MIC512)
+        assert res.instructions_removed == 0
+
+    def test_register_overwrite_invalidates(self, vm):
+        a = vm.alloc(8)
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+        prog.emit(Instruction(Op.VSET, dest="v0", values=(0.0,) * 8))
+        prog.emit(Instruction(Op.VLOAD, dest="v1", addr=a))  # NOT redundant
+        res = eliminate_redundant_loads(prog, MIC512)
+        assert res.instructions_removed == 0
+
+    def test_autovectorized_square_expression(self, vm):
+        """a[i]*a[i] loads 'a' twice per chunk; RLE folds one away."""
+        arrays = {"a": vm.alloc(16), "out": vm.alloc(16)}
+        data = np.linspace(1, 2, 16)
+        vm.write_array(arrays["a"], data)
+        loop = Loop(16, "out", ArrayRef("a") * ArrayRef("a")).with_pragmas(
+            "ivdep", "vector aligned"
+        )
+        prog, _ = auto_vectorize(loop, arrays, MIC512)
+        res = eliminate_redundant_loads(prog, MIC512)
+        assert res.instructions_removed == 2  # one per 8-wide chunk
+        vm.run(res.program)
+        np.testing.assert_allclose(vm.read_array(arrays["out"], 16), data**2)
+
+
+class TestDeadStoreElimination:
+    def test_overwritten_store_dropped(self, vm):
+        a = vm.alloc(8)
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VSET, dest="v0", values=(1.0,) * 8))
+        prog.emit(Instruction(Op.VSET, dest="v1", values=(2.0,) * 8))
+        prog.emit(Instruction(Op.VSTORE, srcs=("v0",), addr=a))  # dead
+        prog.emit(Instruction(Op.VSTORE, srcs=("v1",), addr=a))
+        res = eliminate_dead_stores(prog, MIC512)
+        assert res.instructions_removed == 1
+        vm.run(res.program)
+        np.testing.assert_array_equal(vm.read_array(a, 8), np.full(8, 2.0))
+
+    def test_intervening_load_keeps_store(self, vm):
+        a = vm.alloc(8)
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VSET, dest="v0", values=(1.0,) * 8))
+        prog.emit(Instruction(Op.VSTORE, srcs=("v0",), addr=a))
+        prog.emit(Instruction(Op.VLOAD, dest="v1", addr=a))  # reads it
+        prog.emit(Instruction(Op.VSTORE, srcs=("v1",), addr=a))
+        res = eliminate_dead_stores(prog, MIC512)
+        assert res.instructions_removed == 0
+
+
+class TestOptimizeProgram:
+    def test_kernel_semantics_preserved(self, vm):
+        """Full pipeline on a real kernel: identical outputs, fewer ops."""
+        from repro.core.vectorized import emit_derivative_sum, setup_buffers
+
+        rng = np.random.default_rng(0)
+        zl = rng.uniform(0.1, 1.0, size=(16, 4, 4))
+        zr = rng.uniform(0.1, 1.0, size=(16, 4, 4))
+        bufs = setup_buffers(vm, zl, zr)
+        prog = emit_derivative_sum(vm.isa, bufs)
+        res = optimize_program(prog, vm.isa)
+        vm.run(prog)
+        baseline = vm.read_array(bufs.out, 16 * 16)
+        vm.write_array(bufs.out, np.zeros(16 * 16))
+        vm.run(res.program)
+        np.testing.assert_array_equal(vm.read_array(bufs.out, 16 * 16), baseline)
+
+    def test_savings_reported(self, vm):
+        a = vm.alloc(8)
+        prog = VectorProgram("p")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+        prog.emit(Instruction(Op.VLOAD, dest="v1", addr=a))
+        prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+        prog.emit(Instruction(Op.VSTORE, srcs=("v2",), addr=a + 64))
+        res = optimize_program(prog, MIC512)
+        assert res.instructions_removed == 1
+        assert res.issue_cycles_saved > 0
+        assert len(res.program) == len(prog) - 1

@@ -1,0 +1,59 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.perf import NVIDIA_K20, XEON_E5_2680_2S, XEON_PHI_5110P_1S
+from repro.perf.costmodel import measure_kernel_cycles
+from repro.perf.roofline import render_roofline, roofline_analysis
+
+
+class TestRoofline:
+    def test_all_kernels_classified(self):
+        points = roofline_analysis(XEON_PHI_5110P_1S)
+        assert {p.kernel for p in points} == {
+            "newview", "evaluate", "derivative_sum", "derivative_core",
+        }
+
+    def test_derivative_sum_deepest_in_memory_bound_region(self):
+        """The paper's Figure 3 narrative: the streaming kernel has by
+        far the lowest arithmetic intensity."""
+        points = {p.kernel: p for p in roofline_analysis(XEON_PHI_5110P_1S)}
+        ds = points["derivative_sum"]
+        assert ds.memory_bound
+        for kernel, p in points.items():
+            if kernel != "derivative_sum":
+                assert ds.arithmetic_intensity < p.arithmetic_intensity
+
+    def test_all_plf_kernels_memory_bound(self):
+        """PLF kernels sit left of the ridge on both platforms — the
+        premise of the whole bandwidth-driven speedup story."""
+        for platform in (XEON_PHI_5110P_1S, XEON_E5_2680_2S):
+            for p in roofline_analysis(platform):
+                assert p.memory_bound, (platform.name, p.kernel)
+
+    def test_attainable_fraction_below_one(self):
+        for p in roofline_analysis(XEON_PHI_5110P_1S):
+            assert 0.0 < p.attainable_fraction < 1.0
+
+    def test_mic_ridge_higher_than_cpu(self):
+        """More peak flops per byte of bandwidth on the MIC."""
+        mic = roofline_analysis(XEON_PHI_5110P_1S)[0].ridge_intensity
+        cpu = roofline_analysis(XEON_E5_2680_2S)[0].ridge_intensity
+        assert mic > cpu
+
+    def test_reference_platform_rejected(self):
+        with pytest.raises(ValueError, match="ISA"):
+            roofline_analysis(NVIDIA_K20)
+
+    def test_render(self):
+        text = render_roofline()
+        assert "Roofline" in text
+        assert "memory" in text
+
+    def test_flops_measured(self):
+        meas = measure_kernel_cycles("mic512")
+        # newview: two 4x4 mat-vecs + product + back-projection per site,
+        # 4 rates: on the order of a few hundred flops/site
+        assert 200 < meas["newview"].flops_per_site < 600
+        # derivative_sum: 16 multiplies per site
+        assert meas["derivative_sum"].flops_per_site == pytest.approx(16, abs=1)

@@ -1,0 +1,133 @@
+"""Tests for the INDELible-equivalent sequence simulator."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    GammaRates,
+    Tree,
+    gtr,
+    jc69,
+    simulate_alignment,
+    simulate_dataset,
+)
+
+
+class TestSimulateDataset:
+    def test_shapes(self):
+        sim = simulate_dataset(n_taxa=15, n_sites=1000, seed=0)
+        assert sim.alignment.n_taxa == 15
+        assert sim.alignment.n_sites == 1000
+        assert sim.tree.n_leaves == 15
+
+    def test_deterministic(self):
+        a = simulate_dataset(n_taxa=6, n_sites=100, seed=42)
+        b = simulate_dataset(n_taxa=6, n_sites=100, seed=42)
+        np.testing.assert_array_equal(a.alignment.data, b.alignment.data)
+        assert a.tree.robinson_foulds(b.tree) == 0
+
+    def test_different_seeds_differ(self):
+        a = simulate_dataset(n_taxa=6, n_sites=100, seed=1)
+        b = simulate_dataset(n_taxa=6, n_sites=100, seed=2)
+        assert not np.array_equal(a.alignment.data, b.alignment.data)
+
+    def test_only_unambiguous_states(self):
+        sim = simulate_dataset(n_taxa=5, n_sites=200, seed=3)
+        assert set(np.unique(sim.alignment.data)) <= {1, 2, 4, 8}
+
+
+class TestStatisticalProperties:
+    def test_base_composition_approaches_stationary(self):
+        """On long branches the simulated composition matches pi."""
+        freqs = np.array([0.4, 0.1, 0.2, 0.3])
+        model = gtr(np.ones(6), freqs)
+        tree = Tree.from_newick("(a:5.0,b:5.0,c:5.0);")
+        rng = np.random.default_rng(0)
+        sim = simulate_alignment(tree, model, 30_000, rng)
+        counts = np.zeros(4)
+        for s in (1, 2, 4, 8):
+            counts[int(np.log2(s))] = (sim.alignment.data == s).sum()
+        observed = counts / counts.sum()
+        np.testing.assert_allclose(observed, freqs, atol=0.015)
+
+    def test_zero_branch_lengths_copy_parent(self):
+        tree = Tree.from_newick("(a:0.0,b:0.0,c:0.0);")
+        rng = np.random.default_rng(1)
+        sim = simulate_alignment(tree, jc69(), 500, rng)
+        a = sim.alignment
+        np.testing.assert_array_equal(a.data[0], a.data[1])
+        np.testing.assert_array_equal(a.data[0], a.data[2])
+
+    def test_short_branches_high_identity(self):
+        tree = Tree.from_newick("(a:0.01,b:0.01,c:0.01);")
+        rng = np.random.default_rng(2)
+        sim = simulate_alignment(tree, jc69(), 5000, rng)
+        a = sim.alignment
+        identity = (a.data[0] == a.data[1]).mean()
+        assert identity > 0.95
+
+    def test_gamma_rates_create_rate_variation(self):
+        """Low-alpha Gamma produces more invariant + more saturated sites."""
+        tree = Tree.from_newick("(a:0.5,b:0.5,c:0.5,d:0.5);")
+        model = jc69()
+        rng1 = np.random.default_rng(3)
+        sim_gamma = simulate_alignment(
+            tree, model, 20_000, rng1, gamma=GammaRates(0.1, 4)
+        )
+        rng2 = np.random.default_rng(3)
+        sim_flat = simulate_alignment(tree, model, 20_000, rng2, gamma=None)
+
+        def frac_constant(sim):
+            data = sim.alignment.data
+            return (data == data[0]).all(axis=0).mean()
+
+        assert frac_constant(sim_gamma) > frac_constant(sim_flat) + 0.05
+
+    def test_likelihood_prefers_true_alpha(self):
+        """The engine's lnL peaks near the generating alpha."""
+        from repro.core import LikelihoodEngine
+
+        sim = simulate_dataset(n_taxa=8, n_sites=3000, seed=10, alpha=0.3)
+        pat = sim.alignment.compress()
+        model = gtr(
+            np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+            np.array([0.3, 0.2, 0.2, 0.3]),
+        )
+        engine = LikelihoodEngine(pat, sim.tree.copy(), model, GammaRates(0.3, 4))
+        lnl_true = engine.log_likelihood()
+        engine.set_alpha(5.0)
+        lnl_wrong = engine.log_likelihood()
+        assert lnl_true > lnl_wrong
+
+    def test_site_rate_metadata_matches_gamma(self):
+        sim = simulate_dataset(n_taxa=5, n_sites=2000, seed=4, alpha=0.5)
+        # rates come from the 4 discrete gamma categories
+        unique = np.unique(sim.site_rates)
+        assert unique.shape[0] == 4
+        assert sim.site_rates.mean() == pytest.approx(1.0, abs=0.1)
+
+
+class TestValidation:
+    def test_model_alphabet_mismatch(self):
+        from repro.phylo import poisson_protein
+        from repro.phylo.states import DNA
+
+        tree = Tree.from_newick("(a:0.1,b:0.1,c:0.1);")
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="states"):
+            simulate_alignment(tree, poisson_protein(), 10, rng, states=DNA)
+
+    def test_positive_sites_required(self):
+        tree = Tree.from_newick("(a:0.1,b:0.1,c:0.1);")
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_alignment(tree, jc69(), 0, rng)
+
+    def test_protein_simulation(self):
+        from repro.phylo import poisson_protein
+
+        tree = Tree.from_newick("(a:0.3,b:0.3,c:0.3);")
+        rng = np.random.default_rng(0)
+        sim = simulate_alignment(tree, poisson_protein(), 100, rng)
+        assert sim.alignment.n_sites == 100
+        assert sim.alignment.states.n_states == 20

@@ -1,0 +1,100 @@
+"""Unit tests for character-state encodings."""
+
+import numpy as np
+import pytest
+
+from repro.phylo.states import DNA, PROTEIN, dna_char, dna_code
+
+
+class TestDnaCodes:
+    def test_canonical_bases(self):
+        assert dna_code("A") == 1
+        assert dna_code("C") == 2
+        assert dna_code("G") == 4
+        assert dna_code("T") == 8
+
+    def test_case_insensitive(self):
+        assert dna_code("a") == dna_code("A")
+
+    def test_uracil_maps_to_t(self):
+        assert dna_code("U") == dna_code("T")
+
+    def test_ambiguity_codes_are_unions(self):
+        assert dna_code("R") == dna_code("A") | dna_code("G")
+        assert dna_code("Y") == dna_code("C") | dna_code("T")
+        assert dna_code("N") == 0b1111
+        assert dna_code("-") == 0b1111
+
+    def test_every_code_is_nonzero_4bit(self):
+        for ch, code in DNA.char_to_code.items():
+            assert 1 <= code <= 15, ch
+
+    def test_roundtrip_unambiguous(self):
+        for ch in "ACGT":
+            assert dna_char(dna_code(ch)) == ch
+
+
+class TestEncodeDecode:
+    def test_encode_simple(self):
+        codes = DNA.encode("ACGT")
+        assert list(codes) == [1, 2, 4, 8]
+
+    def test_encode_rejects_invalid(self):
+        with pytest.raises(ValueError, match="position 2"):
+            DNA.encode("AC!T")
+
+    def test_decode_roundtrip(self):
+        seq = "ACGTRYN-"
+        assert DNA.decode(DNA.encode(seq)) in ("ACGTRYN-", "ACGTRY--")
+        # exact roundtrip for unambiguous + gap
+        assert DNA.decode(DNA.encode("ACGT-")) == "ACGT-"
+
+
+class TestTipTable:
+    def test_dna_tip_table_shape(self):
+        table = DNA.tip_table()
+        assert table.shape == (16, 4)
+
+    def test_tip_table_rows_match_bitmask(self):
+        table = DNA.tip_table()
+        for code in range(16):
+            for s in range(4):
+                assert table[code, s] == (1.0 if code & (1 << s) else 0.0)
+
+    def test_gap_row_is_all_ones(self):
+        table = DNA.tip_table()
+        assert np.all(table[15] == 1.0)
+
+    def test_tip_rows_sparse_matches_dense(self):
+        codes = np.array([1, 2, 4, 8, 15, 5])
+        dense = DNA.tip_table()[codes]
+        sparse = DNA.tip_rows(codes)
+        np.testing.assert_array_equal(dense, sparse)
+
+
+class TestProtein:
+    def test_twenty_states(self):
+        assert PROTEIN.n_states == 20
+
+    def test_all_codes_nonzero(self):
+        for ch, code in PROTEIN.char_to_code.items():
+            assert code > 0, ch
+
+    def test_x_is_fully_ambiguous(self):
+        assert PROTEIN.char_to_code["X"] == (1 << 20) - 1
+
+    def test_b_is_n_or_d(self):
+        b = PROTEIN.char_to_code["B"]
+        n = PROTEIN.char_to_code["N"]
+        d = PROTEIN.char_to_code["D"]
+        assert b == n | d
+
+    def test_dense_table_refused(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            PROTEIN.tip_table()
+
+    def test_tip_rows_work_for_protein(self):
+        codes = PROTEIN.encode("ARND")
+        rows = PROTEIN.tip_rows(codes)
+        assert rows.shape == (4, 20)
+        np.testing.assert_array_equal(rows.sum(axis=1), np.ones(4))

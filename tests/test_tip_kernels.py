@@ -1,0 +1,94 @@
+"""Tests for the gather-based tip-case vector kernels and Table II."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as ref
+from repro.core.vectorized import (
+    BLOCK_DOUBLES,
+    emit_newview_tip_tip,
+    prepare_tip_consts,
+    setup_buffers,
+)
+from repro.harness.table2 import TABLE2_CONFIGS, render_table2
+from repro.mic.device import xeon_e5_device, xeon_phi_device
+from repro.mic.isa import Op
+from repro.phylo import GammaRates, gtr
+from repro.phylo.states import DNA
+
+
+@pytest.fixture(scope="module")
+def tip_problem():
+    rng = np.random.default_rng(8)
+    n = 24
+    model = gtr(
+        np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+        np.array([0.3, 0.2, 0.2, 0.3]),
+    )
+    eigen = model.eigen()
+    gamma = GammaRates(0.8, 4)
+    tipv = ref.tip_eigen_table(eigen, DNA.tip_table())
+    codes1 = rng.choice([1, 2, 4, 8, 15, 5], size=n).astype(np.int64)
+    codes2 = rng.choice([1, 2, 4, 8, 15, 10], size=n).astype(np.int64)
+    return eigen, gamma, tipv, codes1, codes2, n
+
+
+@pytest.mark.parametrize("device_factory", [xeon_phi_device, xeon_e5_device])
+class TestTipTipKernel:
+    def test_matches_reference(self, device_factory, tip_problem):
+        eigen, gamma, tipv, codes1, codes2, n = tip_problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, np.zeros((n, 4, 4)), np.zeros((n, 4, 4)))
+        prepare_tip_consts(vm, bufs, eigen, gamma.rates, tipv, 0.2, 0.4)
+        prog = emit_newview_tip_tip(vm.isa, bufs, codes1, codes2)
+        vm.run(prog)
+        got = vm.read_array(bufs.out, n * BLOCK_DOUBLES).reshape(n, 4, 4)
+        lut1 = ref.tip_branch_lookup(
+            ref.branch_matrices(eigen, gamma.rates, 0.2), tipv
+        )
+        lut2 = ref.tip_branch_lookup(
+            ref.branch_matrices(eigen, gamma.rates, 0.4), tipv
+        )
+        expected, _ = ref.newview_tip_tip(
+            eigen.u_inv, lut1, codes1, lut2, codes2
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_uses_gathers(self, device_factory, tip_problem):
+        eigen, gamma, tipv, codes1, codes2, n = tip_problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, np.zeros((n, 4, 4)), np.zeros((n, 4, 4)))
+        prepare_tip_consts(vm, bufs, eigen, gamma.rates, tipv, 0.2, 0.4)
+        prog = emit_newview_tip_tip(vm.isa, bufs, codes1, codes2)
+        assert any(i.op is Op.VGATHER for i in prog.instructions)
+
+    def test_requires_consts(self, device_factory, tip_problem):
+        *_, codes1, codes2, n = tip_problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, np.zeros((n, 4, 4)), np.zeros((n, 4, 4)))
+        with pytest.raises(ValueError, match="prepare_tip_consts"):
+            emit_newview_tip_tip(vm.isa, bufs, codes1, codes2)
+
+    def test_code_count_validated(self, device_factory, tip_problem):
+        eigen, gamma, tipv, codes1, codes2, n = tip_problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, np.zeros((n, 4, 4)), np.zeros((n, 4, 4)))
+        prepare_tip_consts(vm, bufs, eigen, gamma.rates, tipv, 0.2, 0.4)
+        with pytest.raises(ValueError, match="site count"):
+            emit_newview_tip_tip(vm.isa, bufs, codes1[:-1], codes2)
+
+
+class TestTable2:
+    def test_three_systems(self):
+        assert len(TABLE2_CONFIGS) == 3
+
+    def test_mic_requires_icc(self):
+        """The paper's compiler constraint: icc on the MIC, gcc on CPUs."""
+        by_system = {c.system: c for c in TABLE2_CONFIGS}
+        assert by_system["Xeon Phi"].compiler.startswith("icc")
+        assert by_system["Xeon E5-2680"].compiler.startswith("gcc")
+
+    def test_render(self):
+        text = render_table2()
+        assert "Table II" in text
+        assert "icc 13.1.3" in text

@@ -1,0 +1,196 @@
+"""VM-executed vectorized kernels vs the NumPy reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as ref
+from repro.core.layouts import InterleavedLayout
+from repro.core.vectorized import (
+    BLOCK_DOUBLES,
+    emit_derivative_core,
+    emit_derivative_sum,
+    emit_evaluate,
+    emit_newview_inner_inner,
+    prepare_derivative_consts,
+    prepare_evaluate_consts,
+    prepare_newview_consts,
+    setup_buffers,
+)
+from repro.mic.device import xeon_e5_device, xeon_phi_device
+from repro.phylo import GammaRates, gtr
+
+N_SITES = 48
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(77)
+    model = gtr(
+        np.array([1.2, 3.1, 0.9, 1.1, 3.4, 1.0]),
+        np.array([0.3, 0.2, 0.2, 0.3]),
+    )
+    gamma = GammaRates(0.8, 4)
+    z_left = rng.uniform(0.1, 1.0, size=(N_SITES, 4, 4))
+    z_right = rng.uniform(0.1, 1.0, size=(N_SITES, 4, 4))
+    weights = rng.integers(1, 4, size=N_SITES).astype(float)
+    return model.eigen(), gamma, z_left, z_right, weights
+
+
+DEVICES = [("mic", xeon_phi_device), ("cpu-avx", xeon_e5_device)]
+
+
+@pytest.mark.parametrize("name,device_factory", DEVICES)
+class TestKernelNumerics:
+    def test_derivative_sum(self, name, device_factory, problem):
+        eigen, gamma, zl, zr, w = problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, zl, zr)
+        vm.run(emit_derivative_sum(vm.isa, bufs))
+        got = vm.read_array(bufs.out, N_SITES * BLOCK_DOUBLES).reshape(N_SITES, 4, 4)
+        np.testing.assert_allclose(got, ref.derivative_sum(zl, zr), rtol=1e-14)
+
+    def test_evaluate(self, name, device_factory, problem):
+        eigen, gamma, zl, zr, w = problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, zl, zr, weights=w)
+        t = 0.37
+        prepare_evaluate_consts(vm, bufs, eigen, gamma.rates, gamma.weights, t)
+        vm.run(emit_evaluate(vm.isa, bufs))
+        got = vm.read_array(bufs.scalar_out, 1)[0]
+        exps = ref.branch_exponentials(eigen, gamma.rates, t)
+        expected = ref.evaluate_edge(
+            zl, zr, exps, gamma.weights, w, np.zeros(N_SITES, dtype=np.int64)
+        )
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_newview_inner_inner(self, name, device_factory, problem):
+        eigen, gamma, zl, zr, w = problem
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, zl, zr)
+        prepare_newview_consts(vm, bufs, eigen, gamma.rates, 0.21, 0.43)
+        vm.run(emit_newview_inner_inner(vm.isa, bufs))
+        got = vm.read_array(bufs.out, N_SITES * BLOCK_DOUBLES).reshape(N_SITES, 4, 4)
+        a1 = ref.branch_matrices(eigen, gamma.rates, 0.21)
+        a2 = ref.branch_matrices(eigen, gamma.rates, 0.43)
+        zeros = np.zeros(N_SITES, dtype=np.int64)
+        expected, _ = ref.newview_inner_inner(
+            eigen.u_inv, a1, a2, zl, zr, zeros, zeros
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_derivative_core_blocked(self, name, device_factory, problem):
+        eigen, gamma, zl, zr, w = problem
+        sumbuf = ref.derivative_sum(zl, zr)
+        vm = device_factory().make_vm()
+        bufs = setup_buffers(vm, sumbuf, zr, weights=w)
+        t = 0.29
+        prepare_derivative_consts(vm, bufs, eigen, gamma.rates, gamma.weights, t)
+        vm.run(emit_derivative_core(vm.isa, bufs, site_block=vm.isa.width))
+        got = vm.read_array(bufs.scalar_out, 2)
+        _, d1, d2 = ref.derivative_core(
+            sumbuf, eigen.eigenvalues, gamma.rates, gamma.weights, t, w
+        )
+        assert got[0] == pytest.approx(d1, abs=1e-9)
+        assert got[1] == pytest.approx(d2, abs=1e-9)
+
+    def test_derivative_core_unblocked_matches_blocked(
+        self, name, device_factory, problem
+    ):
+        eigen, gamma, zl, zr, w = problem
+        sumbuf = ref.derivative_sum(zl, zr)
+        results = []
+        for block in (1, None):
+            vm = device_factory().make_vm()
+            bufs = setup_buffers(vm, sumbuf, zr, weights=w)
+            prepare_derivative_consts(vm, bufs, eigen, gamma.rates, gamma.weights, 0.29)
+            sb = block if block is not None else vm.isa.width
+            vm.run(emit_derivative_core(vm.isa, bufs, site_block=sb))
+            results.append(vm.read_array(bufs.scalar_out, 2))
+        np.testing.assert_allclose(results[0], results[1], rtol=1e-12)
+
+
+class TestKernelPerformanceShape:
+    def test_derivative_sum_bandwidth_bound_on_mic(self, problem):
+        _, _, zl, zr, _ = problem
+        vm = xeon_phi_device().make_vm()
+        bufs = setup_buffers(vm, zl, zr)
+        stats = vm.run(emit_derivative_sum(vm.isa, bufs))
+        assert stats.bandwidth_cycles > stats.issue_cycles
+
+    def test_streaming_store_saves_traffic(self, problem):
+        _, _, zl, zr, _ = problem
+        vm = xeon_phi_device().make_vm()
+        bufs = setup_buffers(vm, zl, zr)
+        nt = vm.run(emit_derivative_sum(vm.isa, bufs, nontemporal=True))
+        plain = vm.run(emit_derivative_sum(vm.isa, bufs, nontemporal=False))
+        assert nt.memory.dram_bytes < plain.memory.dram_bytes
+
+    def test_prefetch_distance_zero_is_slower(self, problem):
+        _, _, zl, zr, _ = problem
+        vm = xeon_phi_device().make_vm()
+        vm.hierarchy.hw_prefetch_enabled = False
+        bufs = setup_buffers(vm, zl, zr)
+        no_pf = vm.run(emit_derivative_sum(vm.isa, bufs, prefetch_distance=0))
+        with_pf = vm.run(emit_derivative_sum(vm.isa, bufs, prefetch_distance=8))
+        assert with_pf.cycles < no_pf.cycles
+
+    def test_width_validation(self, problem):
+        from repro.mic import SSE128
+
+        _, _, zl, zr, _ = problem
+        vm = xeon_phi_device().make_vm()
+        bufs = setup_buffers(vm, zl, zr)
+        # shuffle-based kernels need width 4 or 8...
+        with pytest.raises(ValueError, match="widths 4"):
+            emit_newview_inner_inner(SSE128, bufs)
+        # ...but the streaming kernel supports SSE's width-2 path
+        prog = emit_derivative_sum(SSE128, bufs)
+        assert len(prog) > 0
+
+    def test_sse_derivative_sum_numerics(self, problem):
+        """RAxML's oldest vector path (SSE3) still computes correctly."""
+        from repro.mic import SSE128
+        from repro.mic.memory import SNB_DDR3
+        from repro.mic.vm import VectorMachine
+
+        _, _, zl, zr, _ = problem
+        vm = VectorMachine(SSE128, SNB_DDR3)
+        bufs = setup_buffers(vm, zl, zr)
+        vm.run(emit_derivative_sum(vm.isa, bufs))
+        got = vm.read_array(bufs.out, N_SITES * BLOCK_DOUBLES).reshape(
+            N_SITES, 4, 4
+        )
+        np.testing.assert_allclose(got, ref.derivative_sum(zl, zr), rtol=1e-14)
+
+
+class TestLayouts:
+    def test_gamma_dna_block_needs_no_padding(self):
+        layout = InterleavedLayout(10, 4, 4, alignment=64)
+        assert layout.padding_doubles == 0
+        assert layout.bytes_per_site == 128
+
+    def test_cat_layout_needs_padding_on_mic(self):
+        # CAT: 1 rate -> 4 doubles = 32B per site; MIC needs 64B blocks
+        layout = InterleavedLayout(10, 1, 4, alignment=64)
+        assert layout.padding_doubles == 4
+        assert layout.bytes_per_site == 64
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        layout = InterleavedLayout(7, 1, 4, alignment=64)
+        z = rng.normal(size=(7, 1, 4))
+        flat = layout.to_flat(z)
+        assert flat.shape == (layout.total_doubles,)
+        np.testing.assert_array_equal(layout.from_flat(flat), z)
+
+    def test_site_offsets_aligned(self):
+        layout = InterleavedLayout(5, 1, 4, alignment=64)
+        for site in range(5):
+            assert layout.site_offset(site) % 64 == 0
+
+    def test_shape_validation(self):
+        layout = InterleavedLayout(5, 4, 4)
+        with pytest.raises(ValueError, match="expected"):
+            layout.to_flat(np.zeros((5, 4, 3)))
+        with pytest.raises(IndexError):
+            layout.site_offset(5)

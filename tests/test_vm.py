@@ -1,0 +1,201 @@
+"""Tests for the vector VM: numerics, cycle accounting, memory system."""
+
+import numpy as np
+import pytest
+
+from repro.mic import (
+    AVX256,
+    MIC512,
+    Instruction,
+    Op,
+    VectorProgram,
+    xeon_e5_device,
+    xeon_phi_device,
+)
+
+
+@pytest.fixture()
+def vm():
+    return xeon_phi_device().make_vm()
+
+
+def simple_mul_program(vm, n=8):
+    a = vm.alloc(n)
+    b = vm.alloc(n)
+    c = vm.alloc(n)
+    vm.write_array(a, np.arange(1.0, n + 1))
+    vm.write_array(b, np.full(n, 2.0))
+    prog = VectorProgram("mul")
+    prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+    prog.emit(Instruction(Op.VLOAD, dest="v1", addr=b))
+    prog.emit(Instruction(Op.VMUL, dest="v2", srcs=("v0", "v1")))
+    prog.emit(Instruction(Op.VSTORE, srcs=("v2",), addr=c))
+    return prog, c
+
+
+class TestNumerics:
+    def test_vector_multiply(self, vm):
+        prog, out = simple_mul_program(vm)
+        vm.run(prog)
+        np.testing.assert_array_equal(
+            vm.read_array(out, 8), np.arange(1.0, 9.0) * 2.0
+        )
+
+    def test_fma(self, vm):
+        a = vm.alloc(8)
+        vm.write_array(a, np.full(8, 3.0))
+        prog = VectorProgram("fma")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a))
+        prog.emit(Instruction(Op.VSET, dest="v1", values=(2.0,) * 8))
+        prog.emit(Instruction(Op.VSET, dest="v2", values=(1.0,) * 8))
+        prog.emit(Instruction(Op.VFMA, dest="v3", srcs=("v0", "v1", "v2")))
+        vm.run(prog)
+        np.testing.assert_array_equal(vm.vreg("v3"), np.full(8, 7.0))
+
+    def test_shuffle(self, vm):
+        prog = VectorProgram("shuf")
+        prog.emit(Instruction(Op.VSET, dest="v0", values=tuple(float(i) for i in range(8))))
+        prog.emit(Instruction(Op.VSHUF, dest="v1", srcs=("v0",), pattern=(7, 6, 5, 4, 3, 2, 1, 0)))
+        vm.run(prog)
+        np.testing.assert_array_equal(vm.vreg("v1"), np.arange(8)[::-1].astype(float))
+
+    def test_hadd_and_scalar_chain(self, vm):
+        prog = VectorProgram("hadd")
+        prog.emit(Instruction(Op.VSET, dest="v0", values=tuple(float(i) for i in range(8))))
+        prog.emit(Instruction(Op.HADD, dest="s0", srcs=("v0",)))
+        prog.emit(Instruction(Op.SLOG, dest="s1", srcs=("s0",)))
+        vm.run(prog)
+        assert vm.sreg("s0") == 28.0
+        assert vm.sreg("s1") == pytest.approx(np.log(28.0))
+
+    def test_gather(self, vm):
+        a = vm.alloc(16)
+        vm.write_array(a, np.arange(16.0))
+        prog = VectorProgram("gather")
+        addrs = tuple(a + i * 16 for i in range(8))  # every other double
+        prog.emit(Instruction(Op.VGATHER, dest="v0", addrs=addrs))
+        vm.run(prog)
+        np.testing.assert_array_equal(vm.vreg("v0"), np.arange(0.0, 16.0, 2.0))
+
+
+class TestAlignment:
+    def test_misaligned_vector_load_rejected(self, vm):
+        prog = VectorProgram("bad")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=8))  # not 64B-aligned
+        with pytest.raises(ValueError, match="misaligned"):
+            vm.run(prog)
+
+    def test_avx_accepts_32_byte_alignment(self):
+        vm = xeon_e5_device().make_vm()
+        a = vm.alloc(8)
+        prog = VectorProgram("ok")
+        prog.emit(Instruction(Op.VLOAD, dest="v0", addr=a + 32))
+        vm.run(prog)  # must not raise
+
+    def test_alloc_respects_isa_alignment(self, vm):
+        for _ in range(5):
+            assert vm.alloc(3) % 64 == 0
+
+
+class TestCycleAccounting:
+    def test_cycles_positive_and_monotone_in_work(self, vm):
+        prog1, _ = simple_mul_program(vm)
+        small = vm.run(prog1)
+        big_prog = VectorProgram("big")
+        base = vm.alloc(8 * 200)
+        for i in range(200):
+            big_prog.emit(Instruction(Op.VLOAD, dest="v0", addr=base + i * 64))
+        big = vm.run(big_prog)
+        assert 0 < small.cycles < big.cycles
+
+    def test_fma_costs_two_ops_without_fma(self):
+        assert AVX256.cost(Op.VFMA) == AVX256.cost(Op.VMUL) + AVX256.cost(Op.VADD)
+        assert MIC512.cost(Op.VFMA) == 1.0
+
+    def test_flops_counted(self, vm):
+        prog, _ = simple_mul_program(vm)
+        stats = vm.run(prog)
+        assert stats.flops == 8  # one 8-lane multiply
+
+    def test_bandwidth_floor_applies(self, vm):
+        # stream far more data than compute: bandwidth term dominates
+        n = 4096
+        base = vm.alloc(n)
+        prog = VectorProgram("stream")
+        for i in range(0, n, 8):
+            prog.emit(Instruction(Op.VLOAD, dest="v0", addr=base + i * 8))
+        stats = vm.run(prog)
+        assert stats.cycles >= stats.bandwidth_cycles
+        assert stats.memory.dram_read_bytes >= n * 8
+
+
+class TestStreamingStores:
+    def test_nt_store_avoids_rfo_traffic(self, vm):
+        n = 1024
+        out = vm.alloc(n)
+        def store_prog(op):
+            prog = VectorProgram("st")
+            prog.emit(Instruction(Op.VSET, dest="v0", values=(1.0,) * 8))
+            for i in range(0, n, 8):
+                prog.emit(Instruction(op, srcs=("v0",), addr=out + i * 8))
+            return prog
+        nt = vm.run(store_prog(Op.VSTORE_NT))
+        regular = vm.run(store_prog(Op.VSTORE))
+        # regular stores read each line (RFO) then write it back: 2x traffic
+        assert regular.memory.dram_bytes == pytest.approx(
+            2 * nt.memory.dram_bytes, rel=0.05
+        )
+        assert nt.memory.dram_read_bytes == 0
+
+    def test_nt_store_data_lands_in_memory(self, vm):
+        out = vm.alloc(8)
+        prog = VectorProgram("nt")
+        prog.emit(Instruction(Op.VSET, dest="v0", values=tuple(range(8))))
+        prog.emit(Instruction(Op.VSTORE_NT, srcs=("v0",), addr=out))
+        vm.run(prog)
+        np.testing.assert_array_equal(vm.read_array(out, 8), np.arange(8.0))
+
+
+class TestPrefetch:
+    def test_prefetch_hides_latency(self, vm):
+        n = 2048
+        base = vm.alloc(n)
+
+        def prog_with_prefetch(distance):
+            prog = VectorProgram("pf")
+            for i in range(0, n, 8):
+                target = i + distance * 8
+                if distance and target < n:
+                    prog.emit(Instruction(Op.PREFETCH, addr=base + target * 8))
+                prog.emit(Instruction(Op.VLOAD, dest="v0", addr=base + i * 8))
+            return prog
+
+        vm.hierarchy.hw_prefetch_enabled = False
+        cold = vm.run(prog_with_prefetch(0))
+        warm = vm.run(prog_with_prefetch(16))
+        assert warm.stall_cycles < cold.stall_cycles
+
+    def test_hw_prefetcher_covers_streams(self, vm):
+        n = 2048
+        base = vm.alloc(n)
+        prog = VectorProgram("stream")
+        for i in range(0, n, 8):
+            prog.emit(Instruction(Op.VLOAD, dest="v0", addr=base + i * 8))
+        vm.hierarchy.hw_prefetch_enabled = True
+        with_hw = vm.run(prog)
+        vm.hierarchy.hw_prefetch_enabled = False
+        without = vm.run(prog)
+        assert with_hw.stall_cycles < without.stall_cycles
+
+
+class TestHostApi:
+    def test_alloc_out_of_memory(self):
+        vm = xeon_phi_device().make_vm(memory_doubles=128)
+        with pytest.raises(MemoryError):
+            vm.alloc(4096)
+
+    def test_write_read_roundtrip(self, vm):
+        a = vm.alloc(10)
+        data = np.linspace(0, 1, 10)
+        vm.write_array(a, data)
+        np.testing.assert_array_equal(vm.read_array(a, 10), data)
