@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Backend microbenchmark: reference vs. blocked PLF kernels.
+
+Times the two hot kernels of a likelihood evaluation — ``newview``
+(inner-inner case) and ``evaluate`` — at alignment widths spanning the
+paper's Table III range, for every benchmarked backend.  At small widths
+the whole working set is cache-resident and the backends tie; from
+~100K sites the reference backend's full-width temporaries spill to
+DRAM while the blocked backend's chunks stay in L2 (the same reasoning
+as the paper's Sec. V-B cache blocking), so ``blocked`` must win there.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--quick]
+        [--out BENCH_backends.json] [--sites 1000 10000 100000]
+
+Writes a JSON report (default ``BENCH_backends.json`` next to the repo
+root) and exits non-zero if ``blocked`` fails to beat ``reference`` at
+the largest width >= 100K sites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.backends import get_backend  # noqa: E402
+
+BACKENDS = ("reference", "blocked")
+DEFAULT_SITES = (1_000, 10_000, 100_000)
+N_RATES = 4
+N_STATES = 4
+
+
+def make_operands(n_sites: int, seed: int = 2014) -> dict:
+    """Random DNA+Gamma4-shaped operands for one kernel invocation."""
+    rng = np.random.default_rng(seed)
+    return {
+        "u_inv": rng.normal(size=(N_STATES, N_STATES)),
+        "a1": rng.uniform(0.05, 1.0, size=(N_RATES, N_STATES, N_STATES)),
+        "a2": rng.uniform(0.05, 1.0, size=(N_RATES, N_STATES, N_STATES)),
+        "z1": rng.uniform(0.1, 1.0, size=(n_sites, N_RATES, N_STATES)),
+        "z2": rng.uniform(0.1, 1.0, size=(n_sites, N_RATES, N_STATES)),
+        "scale1": np.zeros(n_sites, dtype=np.int64),
+        "scale2": np.zeros(n_sites, dtype=np.int64),
+        "exps": rng.uniform(0.1, 1.0, size=(N_RATES, N_STATES)),
+        "rate_weights": np.full(N_RATES, 1.0 / N_RATES),
+        "pattern_weights": np.ones(n_sites),
+        "scale_counts": np.zeros(n_sites, dtype=np.int64),
+    }
+
+
+def _one_pass(backend, d) -> tuple[float, float]:
+    """Seconds for one newview + one evaluate on ``backend``."""
+    t0 = time.perf_counter()
+    backend.newview_inner_inner(
+        d["u_inv"], d["a1"], d["a2"], d["z1"], d["z2"],
+        d["scale1"], d["scale2"],
+    )
+    t1 = time.perf_counter()
+    backend.evaluate_edge(
+        d["z1"], d["z2"], d["exps"], d["rate_weights"],
+        d["pattern_weights"], d["scale_counts"],
+    )
+    t2 = time.perf_counter()
+    return t1 - t0, t2 - t1
+
+
+def bench_width(n_sites: int, repeats: int) -> dict:
+    d = make_operands(n_sites)
+    row: dict = {"sites": n_sites}
+    for name in BACKENDS:
+        backend = get_backend(name)
+        _one_pass(backend, d)  # warm-up: scratch allocation, page faults
+        best_nv = best_ev = float("inf")
+        for _ in range(repeats):
+            nv, ev = _one_pass(backend, d)
+            best_nv = min(best_nv, nv)
+            best_ev = min(best_ev, ev)
+        row[name] = {
+            "newview_s": best_nv,
+            "evaluate_s": best_ev,
+            "total_s": best_nv + best_ev,
+        }
+    row["speedup_blocked_vs_reference"] = (
+        row["reference"]["total_s"] / row["blocked"]["total_s"]
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats (CI smoke; timings are noisier)",
+    )
+    parser.add_argument(
+        "--sites", type=int, nargs="+", default=list(DEFAULT_SITES),
+        help="alignment widths to benchmark",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per width (default: 7, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_backends.json",
+        help="JSON report path",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.quick else 7)
+
+    rows = []
+    print(f"{'sites':>9}  {'reference':>11}  {'blocked':>11}  {'speedup':>7}")
+    for n_sites in sorted(args.sites):
+        row = bench_width(n_sites, repeats)
+        rows.append(row)
+        print(
+            f"{n_sites:>9}  "
+            f"{row['reference']['total_s'] * 1e3:>9.3f}ms  "
+            f"{row['blocked']['total_s'] * 1e3:>9.3f}ms  "
+            f"{row['speedup_blocked_vs_reference']:>6.2f}x"
+        )
+
+    report = {
+        "benchmark": "newview_inner_inner + evaluate_edge, best of repeats",
+        "backends": list(BACKENDS),
+        "repeats": repeats,
+        "quick": args.quick,
+        "results": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    # Acceptance gate: blocked beats reference at the largest >=100K width.
+    large = [r for r in rows if r["sites"] >= 100_000]
+    if large:
+        gate = large[-1]
+        if gate["speedup_blocked_vs_reference"] <= 1.0:
+            print(
+                f"FAIL: blocked slower than reference at {gate['sites']} "
+                f"sites ({gate['speedup_blocked_vs_reference']:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: blocked {gate['speedup_blocked_vs_reference']:.2f}x faster "
+            f"than reference at {gate['sites']} sites"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ Quickstart::
     print(engine.log_likelihood())
 """
 
+from .core.backends import available_backends, get_backend, make_engine
 from .core.engine import LikelihoodEngine
 from .phylo import (
     Alignment,
@@ -51,6 +52,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LikelihoodEngine",
+    "available_backends",
+    "get_backend",
+    "make_engine",
     "Alignment",
     "GammaRates",
     "PatternAlignment",

@@ -6,9 +6,14 @@ in practice — files in, files out:
 * ``repro simulate``  — generate a GTR+Gamma alignment (INDELible stand-in)
 * ``repro search``    — full ML tree search on an alignment file
 * ``repro place``     — EPA: place query sequences on a reference tree
+* ``repro backends``  — list the registered PLF kernel backends
 * ``repro kernels``   — per-kernel VM measurements (Figure 3 raw data)
 * ``repro predict``   — trace-driven runtime/energy prediction for one
                         platform and alignment size (Table III cells)
+
+``repro search`` and ``repro place`` accept ``--backend`` to pick the
+kernel implementation (reference / blocked / shadow); the
+``REPRO_BACKEND`` environment variable sets the process-wide default.
 """
 
 from __future__ import annotations
@@ -19,6 +24,22 @@ import sys
 from pathlib import Path
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` option to a subcommand parser."""
+    from .core.backends import DEFAULT_BACKEND_ENV, available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=[info.name for info in available_backends()],
+        default=None,
+        help=(
+            "PLF kernel backend (default: $"
+            + DEFAULT_BACKEND_ENV
+            + " or 'reference'; see 'repro backends')"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--start", choices=["parsimony", "nj"],
                           default="parsimony",
                           help="starting-tree method")
+    _add_backend_flag(p_search)
 
     p_stats = sub.add_parser("stats", help="alignment summary statistics")
     p_stats.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
@@ -62,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="aligned query sequences (FASTA)")
     p_place.add_argument("--out", type=Path, help="jplace output")
     p_place.add_argument("--best", type=int, default=5)
+    _add_backend_flag(p_place)
+
+    sub.add_parser("backends", help="list registered PLF kernel backends")
 
     sub.add_parser("kernels", help="VM kernel measurements (Figure 3)")
 
@@ -114,6 +139,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             seed=args.seed,
             optimize_exchangeabilities=not args.no_rates,
         ),
+        backend=args.backend,
     )
     print(f"final lnL: {result.lnl:.4f}")
     print(f"alpha:     {result.alpha:.4f}")
@@ -143,7 +169,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
     queries = {t: query_aln.sequence(t) for t in query_aln.taxa}
     results = place_queries(
         reference, tree, queries, gtr(), GammaRates(1.0, 4),
-        keep_best=args.best,
+        keep_best=args.best, backend=args.backend,
     )
     for result in results:
         best = result.best
@@ -162,6 +188,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .phylo.stats import alignment_stats
 
     print(alignment_stats(read_alignment(args.alignment)).summary())
+    return 0
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    import os
+
+    from .core.backends import DEFAULT_BACKEND_ENV, available_backends
+
+    default = os.environ.get(DEFAULT_BACKEND_ENV, "reference")
+    width = max(len(info.name) for info in available_backends())
+    for info in available_backends():
+        marker = "*" if info.name == default else " "
+        print(f"{marker} {info.name:<{width}}  {info.description}")
+    print(f"\n(* = process default; override with ${DEFAULT_BACKEND_ENV} "
+          "or --backend)")
     return 0
 
 
@@ -213,6 +254,7 @@ _HANDLERS = {
     "search": _cmd_search,
     "place": _cmd_place,
     "stats": _cmd_stats,
+    "backends": _cmd_backends,
     "kernels": _cmd_kernels,
     "predict": _cmd_predict,
 }

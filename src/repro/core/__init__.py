@@ -8,6 +8,19 @@ simulated MIC (:mod:`repro.mic`); ``layouts`` implements the
 interleaved memory layout of Sec. V-B3.
 """
 
+from .backends import (
+    BackendInfo,
+    BackendMismatchError,
+    BlockedBackend,
+    KernelBackend,
+    KernelProfile,
+    ReferenceBackend,
+    ShadowBackend,
+    available_backends,
+    get_backend,
+    make_engine,
+    register_backend,
+)
 from .cat import CatLikelihoodEngine
 from .engine import LikelihoodEngine
 from .layouts import InterleavedLayout
@@ -16,6 +29,17 @@ from .partitioned import Partition, PartitionedEngine, partition_workers
 from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
 
 __all__ = [
+    "BackendInfo",
+    "BackendMismatchError",
+    "BlockedBackend",
+    "KernelBackend",
+    "KernelProfile",
+    "ReferenceBackend",
+    "ShadowBackend",
+    "available_backends",
+    "get_backend",
+    "make_engine",
+    "register_backend",
     "CatLikelihoodEngine",
     "LikelihoodEngine",
     "InterleavedLayout",

@@ -1,0 +1,860 @@
+"""Pluggable kernel backends: one dispatch seam for every PLF variant.
+
+The paper's contribution is swapping PLF kernel *implementations*
+(scalar vs pragma-vectorized vs intrinsics, CPU vs MIC, Sec. IV-V)
+underneath an unchanged tree-search driver.  BEAGLE formalises the same
+idea as a runtime-selectable "implementation" layer behind a stable
+kernel API; this module is that layer for the reproduction.
+
+A :class:`KernelBackend` provides the four PLF kernels of Section IV
+(``newview`` in its three tip cases, ``evaluate``, ``derivativeSum``,
+``derivativeCore``).  :class:`~repro.core.engine.LikelihoodEngine` — and
+every engine built on it (memsave, CAT, +I, partitioned, fork-join,
+distributed) — dispatches exclusively through its backend, so a new
+implementation (JIT-compiled, process-parallel, GPU-style batched) is a
+drop-in: implement the protocol, call :func:`register_backend`.
+
+Shipped backends
+----------------
+``reference``
+    The NumPy ground-truth kernels from :mod:`repro.core.kernels`,
+    behavior-identical to the pre-seam engine.
+``blocked``
+    Site-chunked execution over preallocated scratch buffers — the
+    paper's Sec. V-B cache-blocking.  The reference kernels materialise
+    three ``(patterns, rates, states)`` temporaries per ``newview``
+    (~38 MB at 100K DNA+Gamma4 patterns); the blocked backend streams
+    the site dimension in L2-sized chunks so the temporaries stay
+    cache-resident, which wins measurably at Table III widths >= 100K.
+``shadow``
+    Runs *two* backends per dispatch and asserts their CLAs, scale
+    counters, log-likelihoods and derivatives agree — turning every
+    test and search run into a cross-backend correctness oracle
+    (``REPRO_BACKEND=shadow pytest`` checks blocked-vs-reference parity
+    end-to-end).
+
+Every backend records a per-kernel :class:`KernelProfile` (calls, wall
+seconds, bytes moved) extending
+:class:`~repro.core.traversal.KernelCounters`; measured per-kernel
+times/intensities feed :mod:`repro.perf.trace` and
+:mod:`repro.perf.costmodel` to calibrate the Figure 3 / Table III
+predictions against reality instead of analytic constants alone.
+
+The environment variable :data:`DEFAULT_BACKEND_ENV` (``REPRO_BACKEND``)
+selects the process-wide default backend for engines constructed without
+an explicit one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from . import kernels
+from .scaling import LOG_SCALE_STEP, rescale_clv
+from .traversal import KernelCounters, KernelKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..phylo.alignment import PatternAlignment
+    from ..phylo.models import SubstitutionModel
+    from ..phylo.rates import CatRates, GammaRates
+    from ..phylo.tree import Tree
+    from .engine import LikelihoodEngine
+
+__all__ = [
+    "DEFAULT_BACKEND_ENV",
+    "KernelProfile",
+    "KernelBackend",
+    "BackendInfo",
+    "ReferenceBackend",
+    "BlockedBackend",
+    "ShadowBackend",
+    "BackendMismatchError",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "make_engine",
+]
+
+#: Environment variable naming the default backend for engines built
+#: without an explicit one (e.g. ``REPRO_BACKEND=shadow pytest``).
+DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
+
+_PAPER_KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
+
+
+# ----------------------------------------------------------------------
+# profiling
+# ----------------------------------------------------------------------
+@dataclass
+class KernelProfile(KernelCounters):
+    """Kernel counters extended with measured wall time and bytes moved.
+
+    ``seconds[k]`` accumulates wall-clock time spent inside kernel ``k``;
+    ``bytes_moved[k]`` accumulates the sizes of the arrays each call read
+    and wrote (a traffic *lower bound* — NumPy temporaries are not
+    counted).  Together with the inherited ``site_units`` these yield
+    measured per-site times and effective intensities, the quantities the
+    analytic cost model (:mod:`repro.perf.costmodel`) otherwise supplies
+    from VM constants.
+    """
+
+    seconds: dict[KernelKind, float] = field(default_factory=dict)
+    bytes_moved: dict[KernelKind, int] = field(default_factory=dict)
+
+    def record_timed(
+        self, kind: KernelKind, n_patterns: int, elapsed_s: float, nbytes: int
+    ) -> None:
+        self.record(kind, n_patterns)
+        self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed_s
+        self.bytes_moved[kind] = self.bytes_moved.get(kind, 0) + int(nbytes)
+
+    # -- aggregation to the paper's four kernel names ------------------
+    def merged_seconds(self) -> dict[str, float]:
+        """Wall seconds aggregated to the paper's four kernels."""
+        out = {k: 0.0 for k in _PAPER_KERNELS}
+        for kind, s in self.seconds.items():
+            key = "newview" if kind.newview_like else kind.value
+            out[key] += s
+        return out
+
+    def merged_bytes(self) -> dict[str, int]:
+        """Bytes moved aggregated to the paper's four kernels."""
+        out = {k: 0 for k in _PAPER_KERNELS}
+        for kind, b in self.bytes_moved.items():
+            key = "newview" if kind.newview_like else kind.value
+            out[key] += b
+        return out
+
+    def seconds_per_site_unit(self) -> dict[str, float]:
+        """Measured seconds per (pattern x call) unit, per paper kernel."""
+        units = self.merged_site_units()
+        return {
+            k: (s / units[k] if units[k] else 0.0)
+            for k, s in self.merged_seconds().items()
+        }
+
+    def bytes_per_site_unit(self) -> dict[str, float]:
+        """Measured bytes per (pattern x call) unit, per paper kernel."""
+        units = self.merged_site_units()
+        return {
+            k: (b / units[k] if units[k] else 0.0)
+            for k, b in self.merged_bytes().items()
+        }
+
+
+# ----------------------------------------------------------------------
+# the backend protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The stable kernel API every PLF implementation provides.
+
+    Signatures mirror the reference kernels in :mod:`repro.core.kernels`;
+    ``profile`` accumulates per-kernel measurements across the backend's
+    lifetime (a backend instance may be shared by several engines — e.g.
+    the per-rank sub-engines of a distributed run — in which case the
+    profile aggregates across them).
+    """
+
+    name: str
+    description: str
+    profile: KernelProfile
+
+    def newview_tip_tip(
+        self,
+        u_inv: np.ndarray,
+        lookup1: np.ndarray,
+        codes1: np.ndarray,
+        lookup2: np.ndarray,
+        codes2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def newview_tip_inner(
+        self,
+        u_inv: np.ndarray,
+        lookup1: np.ndarray,
+        codes1: np.ndarray,
+        a2: np.ndarray,
+        z2: np.ndarray,
+        scale2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def newview_inner_inner(
+        self,
+        u_inv: np.ndarray,
+        a1: np.ndarray,
+        a2: np.ndarray,
+        z1: np.ndarray,
+        z2: np.ndarray,
+        scale1: np.ndarray,
+        scale2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def site_log_likelihoods(
+        self,
+        z_left: np.ndarray,
+        z_right: np.ndarray,
+        exps: np.ndarray,
+        rate_weights: np.ndarray,
+        scale_counts: np.ndarray,
+    ) -> np.ndarray: ...
+
+    def evaluate_edge(
+        self,
+        z_left: np.ndarray,
+        z_right: np.ndarray,
+        exps: np.ndarray,
+        rate_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        scale_counts: np.ndarray,
+    ) -> float: ...
+
+    def derivative_sum(
+        self, z_left: np.ndarray, z_right: np.ndarray
+    ) -> np.ndarray: ...
+
+    def derivative_core(
+        self,
+        sumbuf: np.ndarray,
+        eigenvalues: np.ndarray,
+        rates: np.ndarray,
+        rate_weights: np.ndarray,
+        t: float,
+        pattern_weights: np.ndarray,
+    ) -> tuple[float, float, float]: ...
+
+
+class _BackendBase:
+    """Shared profiling plumbing for concrete backends."""
+
+    name = "base"
+    description = ""
+
+    def __init__(self) -> None:
+        self.profile = KernelProfile()
+
+    def _finish(
+        self, kind: KernelKind, n_patterns: int, t0: float, *arrays
+    ) -> None:
+        elapsed = time.perf_counter() - t0
+        nbytes = sum(
+            a.nbytes for a in arrays if isinstance(a, np.ndarray)
+        )
+        self.profile.record_timed(kind, n_patterns, elapsed, nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# reference backend
+# ----------------------------------------------------------------------
+class ReferenceBackend(_BackendBase):
+    """NumPy ground-truth kernels (:mod:`repro.core.kernels`), unchanged."""
+
+    name = "reference"
+    description = "NumPy reference kernels, whole-array (ground truth)"
+
+    def newview_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_tip_tip(u_inv, lookup1, codes1, lookup2, codes2)
+        self._finish(
+            KernelKind.NEWVIEW_TIP_TIP, z.shape[0], t0,
+            lookup1, lookup2, codes1, codes2, z, sc,
+        )
+        return z, sc
+
+    def newview_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_tip_inner(u_inv, lookup1, codes1, a2, z2, scale2)
+        self._finish(
+            KernelKind.NEWVIEW_TIP_INNER, z.shape[0], t0,
+            lookup1, codes1, a2, z2, scale2, z, sc,
+        )
+        return z, sc
+
+    def newview_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_inner_inner(u_inv, a1, a2, z1, z2, scale1, scale2)
+        self._finish(
+            KernelKind.NEWVIEW_INNER_INNER, z.shape[0], t0,
+            a1, a2, z1, z2, scale1, scale2, z, sc,
+        )
+        return z, sc
+
+    def site_log_likelihoods(self, z_left, z_right, exps, rate_weights, scale_counts):
+        t0 = time.perf_counter()
+        out = kernels.site_log_likelihoods(
+            z_left, z_right, exps, rate_weights, scale_counts
+        )
+        self._finish(
+            KernelKind.EVALUATE, z_left.shape[0], t0,
+            z_left, z_right, exps, scale_counts, out,
+        )
+        return out
+
+    def evaluate_edge(
+        self, z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+    ):
+        t0 = time.perf_counter()
+        lnl = kernels.evaluate_edge(
+            z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+        )
+        self._finish(
+            KernelKind.EVALUATE, z_left.shape[0], t0,
+            z_left, z_right, exps, pattern_weights, scale_counts,
+        )
+        return lnl
+
+    def derivative_sum(self, z_left, z_right):
+        t0 = time.perf_counter()
+        out = kernels.derivative_sum(z_left, z_right)
+        self._finish(
+            KernelKind.DERIVATIVE_SUM, z_left.shape[0], t0, z_left, z_right, out
+        )
+        return out
+
+    def derivative_core(
+        self, sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        out = kernels.derivative_core(
+            sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        self._finish(
+            KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0, sumbuf, pattern_weights
+        )
+        return out
+
+
+# ----------------------------------------------------------------------
+# blocked backend (Sec. V-B cache blocking)
+# ----------------------------------------------------------------------
+class BlockedBackend(_BackendBase):
+    """Site-chunked kernels over preallocated scratch (Sec. V-B blocking).
+
+    The reference ``newview`` materialises three full-width
+    ``(patterns, rates, states)`` float64 temporaries; at 100K DNA+Gamma4
+    patterns that is 3 x 12.8 MB streamed through memory four times.
+    This backend processes the site dimension in chunks of
+    ``block_sites`` patterns, reusing per-chunk scratch buffers that fit
+    in L2, and writes results straight into the preallocated output —
+    the same transformation the paper applies to the MIC kernels
+    (process 8 sites per 512-bit register block, keep working sets
+    on-chip).
+
+    Per-site arithmetic is performed in the same order as the reference
+    kernels, so CLAs are bit-identical; only cross-site reductions
+    (``evaluate``/``derivativeCore`` accumulations) may differ at the
+    last few ulps from summation reordering.
+
+    Small inputs (``<= block_sites`` patterns) fall through to the
+    whole-array path — blocking only pays once the temporaries outgrow
+    the cache.
+    """
+
+    name = "blocked"
+    description = "site-chunked kernels over preallocated scratch (cache blocking)"
+
+    def __init__(self, block_sites: int = 2048) -> None:
+        if block_sites < 1:
+            raise ValueError("block_sites must be positive")
+        super().__init__()
+        self.block_sites = int(block_sites)
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    # -- scratch management -------------------------------------------
+    def _buf(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A reusable scratch buffer for one (role, shape) slot."""
+        full = (key, *shape)
+        buf = self._scratch.get(full)
+        if buf is None:
+            buf = np.empty(shape)
+            self._scratch[full] = buf
+        return buf
+
+    def _chunks(self, n: int):
+        b = self.block_sites
+        for start in range(0, n, b):
+            yield start, min(start + b, n)
+
+    # -- newview -------------------------------------------------------
+    def newview_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        p = codes1.shape[0]
+        c, _, k = lookup1.shape
+        if p <= self.block_sites:
+            z, sc = kernels.newview_tip_tip(
+                u_inv, lookup1, codes1, lookup2, codes2
+            )
+        else:
+            z = np.empty((p, c, k))
+            w1 = self._buf("w1", (self.block_sites, c, k))
+            for start, stop in self._chunks(p):
+                n = stop - start
+                v = w1[:n]
+                np.copyto(
+                    v, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
+                )
+                v *= lookup2[:, codes2[start:stop], :].transpose(1, 0, 2)
+                np.einsum("ki,pci->pck", u_inv, v, out=z[start:stop])
+            sc = np.zeros(p, dtype=np.int64)
+        self._finish(
+            KernelKind.NEWVIEW_TIP_TIP, p, t0,
+            lookup1, lookup2, codes1, codes2, z, sc,
+        )
+        return z, sc
+
+    def newview_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        p, c, k = z2.shape
+        if p <= self.block_sites:
+            z, sc = kernels.newview_tip_inner(
+                u_inv, lookup1, codes1, a2, z2, scale2
+            )
+        else:
+            z = np.empty((p, c, k))
+            sc = scale2.copy()
+            w1 = self._buf("w1", (self.block_sites, c, k))
+            w2 = self._buf("w2", (self.block_sites, c, k))
+            for start, stop in self._chunks(p):
+                n = stop - start
+                v1, v2 = w1[:n], w2[:n]
+                np.copyto(
+                    v1, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
+                )
+                np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
+                v1 *= v2
+                np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
+            rescale_clv(z, sc)
+        self._finish(
+            KernelKind.NEWVIEW_TIP_INNER, p, t0,
+            lookup1, codes1, a2, z2, scale2, z, sc,
+        )
+        return z, sc
+
+    def newview_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        p, c, k = z1.shape
+        if p <= self.block_sites:
+            z, sc = kernels.newview_inner_inner(
+                u_inv, a1, a2, z1, z2, scale1, scale2
+            )
+        else:
+            z = np.empty((p, c, k))
+            sc = scale1 + scale2
+            w1 = self._buf("w1", (self.block_sites, c, k))
+            w2 = self._buf("w2", (self.block_sites, c, k))
+            for start, stop in self._chunks(p):
+                n = stop - start
+                v1, v2 = w1[:n], w2[:n]
+                np.einsum("cik,pck->pci", a1, z1[start:stop], out=v1)
+                np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
+                v1 *= v2
+                np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
+            rescale_clv(z, sc)
+        self._finish(
+            KernelKind.NEWVIEW_INNER_INNER, p, t0,
+            a1, a2, z1, z2, scale1, scale2, z, sc,
+        )
+        return z, sc
+
+    # -- evaluate ------------------------------------------------------
+    def _site_likelihoods(self, z_left, z_right, exps, rate_weights) -> np.ndarray:
+        """Chunked ``L_p = sum_c w_c sum_k zl zr exp`` (linear scale)."""
+        # Tip root sides broadcast a length-1 rate axis against the
+        # inner side's full one — size scratch for the broadcast shape.
+        p, c, k = np.broadcast_shapes(
+            z_left.shape, z_right.shape, (1, *exps.shape)
+        )
+        site_l = np.empty(p)
+        tmp = self._buf("ev", (min(self.block_sites, p), c, k))
+        # ufunc out= is usable when the product already has the full rate
+        # axis (at most one side is a broadcast tip view).
+        direct = np.broadcast_shapes(z_left.shape, z_right.shape)[1] == c
+        for start, stop in self._chunks(p):
+            n = stop - start
+            v = tmp[:n]
+            if direct:
+                np.multiply(z_left[start:stop], z_right[start:stop], out=v)
+            else:  # two-tip root (2-taxon tree): broadcast on assignment
+                v[:] = z_left[start:stop] * z_right[start:stop]
+            v *= exps[None, :, :]
+            np.einsum("pck,c->p", v, rate_weights, out=site_l[start:stop])
+        return site_l
+
+    def site_log_likelihoods(self, z_left, z_right, exps, rate_weights, scale_counts):
+        t0 = time.perf_counter()
+        p = z_left.shape[0]
+        if p <= self.block_sites:
+            out = kernels.site_log_likelihoods(
+                z_left, z_right, exps, rate_weights, scale_counts
+            )
+        else:
+            site_l = self._site_likelihoods(z_left, z_right, exps, rate_weights)
+            if np.any(site_l <= 0.0):
+                bad = int(np.argmin(site_l))
+                raise FloatingPointError(
+                    f"non-positive site likelihood {site_l[bad]:g} at pattern "
+                    f"{bad}; tree or model is numerically degenerate"
+                )
+            out = np.log(site_l)
+            out -= scale_counts * LOG_SCALE_STEP
+        self._finish(
+            KernelKind.EVALUATE, p, t0, z_left, z_right, exps, scale_counts, out
+        )
+        return out
+
+    def evaluate_edge(
+        self, z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+    ):
+        t0 = time.perf_counter()
+        p = z_left.shape[0]
+        if p <= self.block_sites:
+            lnl = kernels.evaluate_edge(
+                z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+            )
+        else:
+            site_l = self._site_likelihoods(z_left, z_right, exps, rate_weights)
+            if np.any(site_l <= 0.0):
+                bad = int(np.argmin(site_l))
+                raise FloatingPointError(
+                    f"non-positive site likelihood {site_l[bad]:g} at pattern "
+                    f"{bad}; tree or model is numerically degenerate"
+                )
+            lnls = np.log(site_l)
+            lnls -= scale_counts * LOG_SCALE_STEP
+            lnl = float(np.dot(lnls, pattern_weights))
+        self._finish(
+            KernelKind.EVALUATE, p, t0,
+            z_left, z_right, exps, pattern_weights, scale_counts,
+        )
+        return lnl
+
+    # -- derivatives ---------------------------------------------------
+    def derivative_sum(self, z_left, z_right):
+        t0 = time.perf_counter()
+        out = np.empty(np.broadcast_shapes(z_left.shape, z_right.shape))
+        np.multiply(z_left, z_right, out=out)
+        self._finish(
+            KernelKind.DERIVATIVE_SUM, out.shape[0], t0, z_left, z_right, out
+        )
+        return out
+
+    def derivative_core(
+        self, sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        p = sumbuf.shape[0]
+        if p <= self.block_sites:
+            out = kernels.derivative_core(
+                sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+            )
+        else:
+            g = np.multiply.outer(
+                np.asarray(rates, dtype=np.float64), eigenvalues
+            )  # (c, k)
+            e = np.exp(g * t)
+            wc = rate_weights[:, None]
+            m0 = wc * e
+            m1 = m0 * g
+            m2 = m1 * g
+            l0 = np.empty(p)
+            l1 = np.empty(p)
+            l2 = np.empty(p)
+            for start, stop in self._chunks(p):
+                chunk = sumbuf[start:stop]
+                np.einsum("pck,ck->p", chunk, m0, out=l0[start:stop])
+                np.einsum("pck,ck->p", chunk, m1, out=l1[start:stop])
+                np.einsum("pck,ck->p", chunk, m2, out=l2[start:stop])
+            if np.any(l0 <= 0.0):
+                bad = int(np.argmin(l0))
+                raise FloatingPointError(
+                    f"non-positive site likelihood {l0[bad]:g} at pattern "
+                    f"{bad} during branch-length derivative evaluation"
+                )
+            r1 = l1 / l0
+            out = (
+                float(np.dot(np.log(l0), pattern_weights)),
+                float(np.dot(r1, pattern_weights)),
+                float(np.dot(l2 / l0 - r1 * r1, pattern_weights)),
+            )
+        self._finish(
+            KernelKind.DERIVATIVE_CORE, p, t0, sumbuf, pattern_weights
+        )
+        return out
+
+
+# ----------------------------------------------------------------------
+# shadow backend (cross-implementation oracle)
+# ----------------------------------------------------------------------
+class BackendMismatchError(AssertionError):
+    """Two shadowed backends disagreed on a kernel result."""
+
+
+class ShadowBackend(_BackendBase):
+    """Run two backends per dispatch; assert they agree; return primary's.
+
+    Turns any workload — the tier-1 test suite, a full tree search, an
+    EPA placement run — into a cross-backend differential test: every
+    CLA, scale-counter vector, log-likelihood and derivative triple is
+    compared between ``primary`` and ``reference`` with ``allclose``
+    tolerances, and a :class:`BackendMismatchError` names the first
+    kernel that diverges.
+
+    The shadow's own :class:`KernelProfile` times the *combined*
+    dispatch; the wrapped backends keep their individual profiles (so
+    ``shadow.primary.profile`` still measures the primary alone).
+    """
+
+    name = "shadow"
+    description = "runs blocked + reference per dispatch, asserts parity"
+
+    def __init__(
+        self,
+        primary: KernelBackend | None = None,
+        reference: KernelBackend | None = None,
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+    ) -> None:
+        super().__init__()
+        self.primary = primary if primary is not None else BlockedBackend()
+        self.reference = (
+            reference if reference is not None else ReferenceBackend()
+        )
+        self.rtol = rtol
+        self.atol = atol
+        self.checks = 0  # dispatches verified so far
+
+    # -- comparison helpers -------------------------------------------
+    def _fail(self, kernel: str, detail: str) -> None:
+        raise BackendMismatchError(
+            f"backend {self.primary.name!r} disagrees with "
+            f"{self.reference.name!r} on {kernel}: {detail}"
+        )
+
+    def _check_arrays(self, kernel: str, a: np.ndarray, b: np.ndarray, what: str) -> None:
+        if a.shape != b.shape:
+            self._fail(kernel, f"{what} shape {a.shape} vs {b.shape}")
+        if not np.allclose(a, b, rtol=self.rtol, atol=self.atol):
+            dev = float(np.max(np.abs(a - b)))
+            self._fail(kernel, f"{what} max |delta| = {dev:g}")
+
+    def _check_scalars(self, kernel: str, a, b, what: str) -> None:
+        for i, (x, y) in enumerate(zip(np.atleast_1d(a), np.atleast_1d(b))):
+            if not np.isclose(x, y, rtol=self.rtol, atol=self.atol):
+                self._fail(
+                    kernel, f"{what}[{i}] = {x!r} vs {y!r}"
+                )
+
+    def _check_newview(self, kernel, zp, scp, zr, scr):
+        self._check_arrays(kernel, zp, zr, "CLA")
+        if not np.array_equal(scp, scr):
+            self._fail(kernel, "scale counters differ")
+        self.checks += 1
+
+    # -- dispatch ------------------------------------------------------
+    def newview_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.newview_tip_tip(
+            u_inv, lookup1, codes1, lookup2, codes2
+        )
+        zr, scr = self.reference.newview_tip_tip(
+            u_inv, lookup1, codes1, lookup2, codes2
+        )
+        self._check_newview("newview_tip_tip", zp, scp, zr, scr)
+        self._finish(KernelKind.NEWVIEW_TIP_TIP, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def newview_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.newview_tip_inner(
+            u_inv, lookup1, codes1, a2, z2, scale2
+        )
+        zr, scr = self.reference.newview_tip_inner(
+            u_inv, lookup1, codes1, a2, z2, scale2
+        )
+        self._check_newview("newview_tip_inner", zp, scp, zr, scr)
+        self._finish(KernelKind.NEWVIEW_TIP_INNER, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def newview_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.newview_inner_inner(
+            u_inv, a1, a2, z1, z2, scale1, scale2
+        )
+        zr, scr = self.reference.newview_inner_inner(
+            u_inv, a1, a2, z1, z2, scale1, scale2
+        )
+        self._check_newview("newview_inner_inner", zp, scp, zr, scr)
+        self._finish(KernelKind.NEWVIEW_INNER_INNER, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def site_log_likelihoods(self, z_left, z_right, exps, rate_weights, scale_counts):
+        t0 = time.perf_counter()
+        lp = self.primary.site_log_likelihoods(
+            z_left, z_right, exps, rate_weights, scale_counts
+        )
+        lr = self.reference.site_log_likelihoods(
+            z_left, z_right, exps, rate_weights, scale_counts
+        )
+        self._check_arrays("site_log_likelihoods", lp, lr, "site lnL")
+        self.checks += 1
+        self._finish(KernelKind.EVALUATE, lp.shape[0], t0, lp)
+        return lp
+
+    def evaluate_edge(
+        self, z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+    ):
+        t0 = time.perf_counter()
+        lp = self.primary.evaluate_edge(
+            z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+        )
+        lr = self.reference.evaluate_edge(
+            z_left, z_right, exps, rate_weights, pattern_weights, scale_counts
+        )
+        self._check_scalars("evaluate_edge", lp, lr, "lnL")
+        self.checks += 1
+        self._finish(KernelKind.EVALUATE, z_left.shape[0], t0)
+        return lp
+
+    def derivative_sum(self, z_left, z_right):
+        t0 = time.perf_counter()
+        sp = self.primary.derivative_sum(z_left, z_right)
+        sr = self.reference.derivative_sum(z_left, z_right)
+        self._check_arrays("derivative_sum", sp, sr, "sum buffer")
+        self.checks += 1
+        self._finish(KernelKind.DERIVATIVE_SUM, sp.shape[0], t0, sp)
+        return sp
+
+    def derivative_core(
+        self, sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        dp = self.primary.derivative_core(
+            sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        dr = self.reference.derivative_core(
+            sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        self._check_scalars("derivative_core", dp, dr, "derivatives")
+        self.checks += 1
+        self._finish(KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0)
+        return dp
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendInfo:
+    """Registry entry: construction recipe plus a one-line description."""
+
+    name: str
+    factory: Callable[[], KernelBackend]
+    description: str
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend], description: str = ""
+) -> None:
+    """Register (or replace) a backend under ``name``.
+
+    ``factory`` is called afresh for every :func:`get_backend` resolution
+    so each engine stack gets its own profile/scratch state.
+    """
+    _REGISTRY[name] = BackendInfo(
+        name=name, factory=factory, description=description
+    )
+
+
+def available_backends() -> list[BackendInfo]:
+    """Registered backends in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_backend(spec: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Resolve a backend spec to a live instance.
+
+    ``None`` reads :data:`DEFAULT_BACKEND_ENV` (default ``reference``);
+    a string is looked up in the registry (fresh instance per call); an
+    already-constructed backend passes through unchanged — which is how
+    multi-engine drivers (partitioned, fork-join, distributed) share one
+    instance and hence one aggregated profile.
+    """
+    if spec is None:
+        spec = os.environ.get(DEFAULT_BACKEND_ENV, "reference")
+    if isinstance(spec, str):
+        info = _REGISTRY.get(spec)
+        if info is None:
+            names = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown backend {spec!r} (registered: {names})")
+        return info.factory()
+    return spec
+
+
+register_backend(
+    "reference", ReferenceBackend, ReferenceBackend.description
+)
+register_backend("blocked", BlockedBackend, BlockedBackend.description)
+register_backend("shadow", ShadowBackend, ShadowBackend.description)
+
+
+# ----------------------------------------------------------------------
+# engine factory
+# ----------------------------------------------------------------------
+def make_engine(
+    patterns: "PatternAlignment",
+    tree: "Tree",
+    model: "SubstitutionModel",
+    rates: "GammaRates | None" = None,
+    *,
+    backend: "str | KernelBackend | None" = None,
+    max_resident: int | None = None,
+    cat: "CatRates | None" = None,
+    p_inv: float | None = None,
+) -> "LikelihoodEngine":
+    """Single construction point for every engine flavour.
+
+    Composes the orthogonal options in one place — the kernel backend,
+    CLA memory saving (``max_resident``), CAT per-site rates (``cat``)
+    and the invariant-sites mixture (``p_inv``) — so call sites never
+    hand-assemble engine subclasses.
+
+    Mutually exclusive combinations raise ``ValueError`` rather than
+    silently picking one behaviour.
+    """
+    from .cat import CatLikelihoodEngine
+    from .engine import LikelihoodEngine
+    from .invariant import InvariantSitesEngine
+    from .memsave import MemorySavingEngine
+
+    resolved = get_backend(backend)
+    if cat is not None:
+        if max_resident is not None or p_inv is not None:
+            raise ValueError(
+                "cat cannot be combined with max_resident or p_inv"
+            )
+        if rates is not None:
+            raise ValueError("cat replaces Gamma rates; pass rates=None")
+        return CatLikelihoodEngine(patterns, tree, model, cat, backend=resolved)
+    if p_inv is not None:
+        if max_resident is not None:
+            raise ValueError("p_inv cannot be combined with max_resident")
+        return InvariantSitesEngine(
+            patterns, tree, model, rates, p_inv=p_inv, backend=resolved
+        )
+    if max_resident is not None:
+        return MemorySavingEngine(
+            patterns, tree, model, rates,
+            max_resident=max_resident, backend=resolved,
+        )
+    return LikelihoodEngine(patterns, tree, model, rates, backend=resolved)

@@ -26,7 +26,7 @@ from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import CatRates, discrete_gamma_rates
 from ..phylo.tree import Tree
-from . import kernels
+from .backends import KernelBackend
 from .engine import LikelihoodEngine
 from .scaling import LOG_SCALE_STEP, rescale_clv
 from .traversal import KernelKind
@@ -98,6 +98,7 @@ class CatLikelihoodEngine(LikelihoodEngine):
         tree: Tree,
         model: SubstitutionModel,
         cat: CatRates,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if cat.site_categories.shape[0] != patterns.n_patterns:
             raise ValueError(
@@ -106,7 +107,7 @@ class CatLikelihoodEngine(LikelihoodEngine):
             )
         self.cat = cat
         self._alpha = 1.0
-        super().__init__(patterns, tree, model, rates=None)
+        super().__init__(patterns, tree, model, rates=None, backend=backend)
 
     # ------------------------------------------------------------------
     # model handling
@@ -252,7 +253,7 @@ class CatLikelihoodEngine(LikelihoodEngine):
     def edge_sum_buffer(self, root_edge: int) -> np.ndarray:
         self.ensure_valid(root_edge)
         z_l, z_r, _ = self._root_sides(root_edge)
-        sumbuf = kernels.derivative_sum(z_l, z_r)[:, 0, :]
+        sumbuf = self.backend.derivative_sum(z_l, z_r)[:, 0, :]
         self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
         return sumbuf
 

@@ -3,8 +3,11 @@
 :class:`LikelihoodEngine` is the equivalent of RAxML's likelihood core:
 it owns the conditional likelihood arrays (one per internal node), keeps
 track of which are valid for which orientation, plans minimal traversals
-when the tree changes, and dispatches the four kernels from
-:mod:`repro.core.kernels`.
+when the tree changes, and dispatches the four kernels through a
+pluggable :class:`~repro.core.backends.KernelBackend` (the NumPy
+reference kernels of :mod:`repro.core.kernels` by default — select
+others via the ``backend`` argument or the ``REPRO_BACKEND`` environment
+variable).
 
 Validity tracking uses structural *subtree signatures* instead of
 explicit invalidation hooks: a CLA oriented toward edge ``e`` is valid
@@ -29,6 +32,7 @@ from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from . import kernels
+from .backends import KernelBackend, KernelProfile, get_backend
 from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
 
 __all__ = ["LikelihoodEngine"]
@@ -51,6 +55,12 @@ class LikelihoodEngine:
     rates:
         Discrete-Gamma heterogeneity (the paper's Gamma4 configuration is
         ``GammaRates(alpha, 4)``); ``None`` means a single unit rate.
+    backend:
+        Kernel implementation: a registered backend name
+        (``"reference"``, ``"blocked"``, ``"shadow"``), an already
+        constructed :class:`~repro.core.backends.KernelBackend`, or
+        ``None`` for the process default (``REPRO_BACKEND`` environment
+        variable, falling back to the reference kernels).
     """
 
     def __init__(
@@ -59,9 +69,11 @@ class LikelihoodEngine:
         tree: Tree,
         model: SubstitutionModel,
         rates: GammaRates | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.patterns = patterns
         self.tree = tree
+        self.backend = get_backend(backend)
         self.counters = KernelCounters()
         self._model_version = 0
         self._clas: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -173,11 +185,12 @@ class LikelihoodEngine:
     def execute_traversal(self, desc: TraversalDescriptor) -> None:
         """Run the planned ``newview`` operations, updating CLAs in place."""
         tree = self.tree
+        backend = self.backend
         for op in desc.ops:
             if op.kind is KernelKind.NEWVIEW_TIP_TIP:
                 lut1 = self._tip_lookup(op.edge1)
                 lut2 = self._tip_lookup(op.edge2)
-                z, sc = kernels.newview_tip_tip(
+                z, sc = backend.newview_tip_tip(
                     self.eigen.u_inv,
                     lut1, self._tip_codes[tree.name(op.child1)],
                     lut2, self._tip_codes[tree.name(op.child2)],
@@ -191,7 +204,7 @@ class LikelihoodEngine:
                     tip_child, tip_edge = op.child2, op.edge2
                     inner_child, inner_edge = op.child1, op.edge1
                 z2, sc2 = self._clas[inner_child]
-                z, sc = kernels.newview_tip_inner(
+                z, sc = backend.newview_tip_inner(
                     self.eigen.u_inv,
                     self._tip_lookup(tip_edge),
                     self._tip_codes[tree.name(tip_child)],
@@ -201,7 +214,7 @@ class LikelihoodEngine:
             else:
                 z1, sc1 = self._clas[op.child1]
                 z2, sc2 = self._clas[op.child2]
-                z, sc = kernels.newview_inner_inner(
+                z, sc = backend.newview_inner_inner(
                     self.eigen.u_inv,
                     self._branch_a(op.edge1), self._branch_a(op.edge2),
                     z1, z2, sc1, sc2,
@@ -258,7 +271,7 @@ class LikelihoodEngine:
         exps = kernels.branch_exponentials(
             self.eigen, self.rate_values, self.tree.edge(root_edge).length
         )
-        lnl = kernels.evaluate_edge(
+        lnl = self.backend.evaluate_edge(
             z_l, z_r, exps, self.rate_weights, self.patterns.weights, scales
         )
         self.counters.record(KernelKind.EVALUATE, self.patterns.n_patterns)
@@ -274,7 +287,7 @@ class LikelihoodEngine:
             self.eigen, self.rate_values, self.tree.edge(root_edge).length
         )
         self.counters.record(KernelKind.EVALUATE, self.patterns.n_patterns)
-        return kernels.site_log_likelihoods(
+        return self.backend.site_log_likelihoods(
             z_l, z_r, exps, self.rate_weights, scales
         )
 
@@ -287,7 +300,7 @@ class LikelihoodEngine:
         """
         self.ensure_valid(root_edge)
         z_l, z_r, _ = self._root_sides(root_edge)
-        sumbuf = kernels.derivative_sum(z_l, z_r)
+        sumbuf = self.backend.derivative_sum(z_l, z_r)
         self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
         return sumbuf
 
@@ -299,7 +312,7 @@ class LikelihoodEngine:
         ``lnL*`` omits the (t-independent) scaling correction; see
         :func:`repro.core.kernels.derivative_core`.
         """
-        out = kernels.derivative_core(
+        out = self.backend.derivative_core(
             sumbuf,
             self.eigen.eigenvalues,
             self.rate_values,
@@ -313,6 +326,17 @@ class LikelihoodEngine:
     # ------------------------------------------------------------------
     # housekeeping
     # ------------------------------------------------------------------
+    @property
+    def profile(self) -> KernelProfile:
+        """The backend's measured per-kernel profile (wall time, bytes).
+
+        Unlike :attr:`counters` (which tracks this engine's dispatches),
+        the profile lives on the backend and aggregates across every
+        engine sharing that backend instance — e.g. all ranks of a
+        :class:`~repro.parallel.distributed.DistributedEngine`.
+        """
+        return self.backend.profile
+
     def drop_caches(self) -> None:
         """Release all CLAs (memory-saving hook; they rebuild lazily)."""
         self._clas.clear()

@@ -29,7 +29,7 @@ from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
-from . import kernels
+from .backends import KernelBackend
 from .engine import LikelihoodEngine
 from .scaling import LOG_SCALE_STEP
 from .traversal import KernelKind
@@ -47,9 +47,10 @@ class InvariantSitesEngine(LikelihoodEngine):
         model: SubstitutionModel,
         rates: GammaRates | None = None,
         p_inv: float = 0.1,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self._p_inv = None  # set_model runs before validation can happen
-        super().__init__(patterns, tree, model, rates)
+        super().__init__(patterns, tree, model, rates, backend=backend)
         self.set_p_inv(p_inv)
 
     # ------------------------------------------------------------------
@@ -99,7 +100,7 @@ class InvariantSitesEngine(LikelihoodEngine):
         """Sum buffer plus the root scale counters (both needed by +I)."""
         self.ensure_valid(root_edge)
         z_l, z_r, scales = self._root_sides(root_edge)
-        sumbuf = kernels.derivative_sum(z_l, z_r)
+        sumbuf = self.backend.derivative_sum(z_l, z_r)
         self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
         return sumbuf, scales
 

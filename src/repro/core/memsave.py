@@ -30,6 +30,7 @@ from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
+from .backends import KernelBackend
 from .engine import LikelihoodEngine
 from .traversal import TraversalDescriptor
 
@@ -54,6 +55,7 @@ class MemorySavingEngine(LikelihoodEngine):
         model: SubstitutionModel,
         rates: GammaRates | None = None,
         max_resident: int = 8,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if max_resident < 3:
             raise ValueError("max_resident must be at least 3")
@@ -66,7 +68,7 @@ class MemorySavingEngine(LikelihoodEngine):
         self._pin_counts: dict[int, int] = {}
         self.recomputed_clas = 0  # extra newview work caused by eviction
         self._computed_once: set[int] = set()
-        super().__init__(patterns, tree, model, rates)
+        super().__init__(patterns, tree, model, rates, backend=backend)
 
     # ------------------------------------------------------------------
     def _touch(self, node: int) -> None:

@@ -28,6 +28,7 @@ from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
+from .backends import KernelBackend, KernelProfile, get_backend
 from .engine import LikelihoodEngine
 
 __all__ = ["Partition", "PartitionedEngine", "partition_workers"]
@@ -52,7 +53,12 @@ class PartitionedEngine:
     SPR search operate on partitioned data unchanged.
     """
 
-    def __init__(self, partitions: list[Partition], tree: Tree) -> None:
+    def __init__(
+        self,
+        partitions: list[Partition],
+        tree: Tree,
+        backend: str | KernelBackend | None = None,
+    ) -> None:
         if not partitions:
             raise ValueError("need at least one partition")
         taxa = set(partitions[0].patterns.taxa)
@@ -63,8 +69,11 @@ class PartitionedEngine:
                 )
         self.partitions = partitions
         self.tree = tree
+        # One backend instance shared by every per-partition engine, so
+        # its profile aggregates the whole multi-gene workload.
+        self.backend = get_backend(backend)
         self.engines = [
-            LikelihoodEngine(p.patterns, tree, p.model, p.gamma)
+            LikelihoodEngine(p.patterns, tree, p.model, p.gamma, backend=self.backend)
             for p in partitions
         ]
 
@@ -118,6 +127,11 @@ class PartitionedEngine:
                 total.site_units[k] = total.site_units.get(k, 0) + v
             total.reductions += c.reductions
         return total
+
+    @property
+    def profile(self) -> KernelProfile:
+        """Measured per-kernel profile of the shared backend."""
+        return self.backend.profile
 
     def per_site_log_likelihoods(self) -> dict[str, np.ndarray]:
         """Per-partition pattern log-likelihood vectors."""

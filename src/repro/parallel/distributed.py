@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
@@ -62,6 +63,7 @@ class DistributedEngine:
         n_ranks: int = 2,
         mpi: SimMPI | None = None,
         distribution: SiteDistribution | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -75,12 +77,16 @@ class DistributedEngine:
         )
         if self.distribution.n_workers != n_ranks:
             raise ValueError("distribution worker count mismatch")
+        # One backend instance across ranks: the profile aggregates the
+        # whole distributed workload (per-rank counters stay separate).
+        self.backend = get_backend(backend)
         self.ranks = [
             LikelihoodEngine(
                 _slice_patterns(patterns, self.distribution.indices_of(r)),
                 tree,
                 model,
                 rates,
+                backend=self.backend,
             )
             for r in range(n_ranks)
         ]
@@ -142,6 +148,11 @@ class DistributedEngine:
     def counters(self):
         """Rank-0 counters (all ranks perform identical call sequences)."""
         return self.ranks[0].counters
+
+    @property
+    def profile(self) -> KernelProfile:
+        """Measured profile of the shared backend (all ranks)."""
+        return self.backend.profile
 
     @property
     def comm_seconds(self) -> float:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
@@ -45,6 +46,7 @@ class ForkJoinEngine:
         n_threads: int = 4,
         sync_model: ForkJoinModel = CPU_PTHREADS,
         distribution: SiteDistribution | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
@@ -59,12 +61,16 @@ class ForkJoinEngine:
         )
         if self.distribution.n_workers != n_threads:
             raise ValueError("distribution worker count mismatch")
+        # All worker slices share one backend instance, so the profile
+        # aggregates the whole fork-join workload.
+        self.backend = get_backend(backend)
         self.workers = [
             LikelihoodEngine(
                 _slice_patterns(patterns, self.distribution.indices_of(t)),
                 tree,
                 model,
                 rates,
+                backend=self.backend,
             )
             for t in range(n_threads)
         ]
@@ -130,3 +136,8 @@ class ForkJoinEngine:
     def counters(self):
         """Thread-0 counters (each worker performs the same call mix)."""
         return self.workers[0].counters
+
+    @property
+    def profile(self) -> KernelProfile:
+        """Measured profile of the shared backend (all threads)."""
+        return self.backend.profile

@@ -11,7 +11,9 @@ from .costmodel import (
     SERIAL_OVERHEAD_CYCLES,
     CostModel,
     KernelCycles,
+    MeasuredKernelCost,
     measure_kernel_cycles,
+    measured_costs,
 )
 from .energy import energy_wh, relative_energy_savings
 from .platforms import (
@@ -24,7 +26,12 @@ from .platforms import (
     XEON_PHI_5110P_1S,
     XEON_PHI_5110P_2S,
 )
-from .trace import DEFAULT_TRACE, KernelTrace, trace_from_search
+from .trace import (
+    DEFAULT_TRACE,
+    KernelTrace,
+    trace_from_profile,
+    trace_from_search,
+)
 
 __all__ = [
     "PAPER_FIGURE3",
@@ -34,7 +41,9 @@ __all__ = [
     "SERIAL_OVERHEAD_CYCLES",
     "CostModel",
     "KernelCycles",
+    "MeasuredKernelCost",
     "measure_kernel_cycles",
+    "measured_costs",
     "energy_wh",
     "relative_energy_savings",
     "BASELINE",
@@ -47,5 +56,6 @@ __all__ = [
     "XEON_PHI_5110P_2S",
     "DEFAULT_TRACE",
     "KernelTrace",
+    "trace_from_profile",
     "trace_from_search",
 ]

@@ -41,6 +41,8 @@ __all__ = [
     "PIPELINE_EFFICIENCY",
     "SERIAL_OVERHEAD_CYCLES",
     "CostModel",
+    "MeasuredKernelCost",
+    "measured_costs",
 ]
 
 KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
@@ -228,3 +230,85 @@ class CostModel:
     def kernel_speedup_vs(self, other: "CostModel", kernel: str, sites: float) -> float:
         """Whole-platform speedup of ``self`` over ``other`` for a kernel."""
         return other.kernel_time(kernel, sites) / self.kernel_time(kernel, sites)
+
+
+# ----------------------------------------------------------------------
+# measured costs (backend profiles -> calibration input)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasuredKernelCost:
+    """Empirical per-kernel cost from a profiling backend.
+
+    The analytic side of this module predicts per-site times from VM
+    constants; this is its measured counterpart, built from the wall
+    times and traffic a :class:`repro.core.backends.KernelProfile`
+    records on the machine actually running the kernels.  Comparing the
+    two (predicted vs. ``seconds_per_site``) is how backend pipeline
+    efficiencies are calibrated.
+    """
+
+    kernel: str
+    calls: int
+    site_units: float
+    seconds: float
+    bytes_moved: int
+
+    @property
+    def seconds_per_site(self) -> float:
+        """Measured wall seconds per (pattern x call) work unit."""
+        return self.seconds / self.site_units if self.site_units else 0.0
+
+    @property
+    def bytes_per_site(self) -> float:
+        """Measured traffic (lower bound) per work unit."""
+        return self.bytes_moved / self.site_units if self.site_units else 0.0
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        """Bytes moved over wall time, in GB/s (0 when untimed)."""
+        return self.bytes_moved / self.seconds / 1e9 if self.seconds else 0.0
+
+
+def measured_costs(source) -> dict[str, MeasuredKernelCost]:
+    """Extract per-kernel measured costs from a profile or trace.
+
+    ``source`` may be
+
+    * a :class:`repro.core.backends.KernelProfile` (any profiling
+      backend's ``profile`` attribute), or
+    * a :class:`repro.perf.trace.KernelTrace` whose ``measured_seconds``
+      field is populated (i.e. recorded through a profiling backend).
+
+    Returns a dict over the paper's four kernels.  Raises ``ValueError``
+    for a trace with no measurements — analytic replay needs no
+    calibration input, so asking for one is a caller bug.
+    """
+    if hasattr(source, "merged_seconds") and hasattr(source, "merged_site_units"):
+        calls = source.merged()
+        units = source.merged_site_units()
+        seconds = source.merged_seconds()
+        nbytes = source.merged_bytes()
+    elif hasattr(source, "calls") and hasattr(source, "traced_sites"):
+        if source.measured_seconds is None:
+            raise ValueError(
+                "trace carries no measurements; record it through a "
+                "profiling backend (see repro.perf.trace.trace_from_profile)"
+            )
+        calls = dict(source.calls)
+        units = {k: n * source.traced_sites for k, n in calls.items()}
+        seconds = dict(source.measured_seconds)
+        nbytes = dict(source.measured_bytes or {k: 0 for k in calls})
+    else:
+        raise TypeError(
+            f"expected a KernelProfile or measured KernelTrace, got {type(source)!r}"
+        )
+    return {
+        k: MeasuredKernelCost(
+            kernel=k,
+            calls=int(calls.get(k, 0)),
+            site_units=float(units.get(k, 0)),
+            seconds=float(seconds.get(k, 0.0)),
+            bytes_moved=int(nbytes.get(k, 0)),
+        )
+        for k in KERNELS
+    }

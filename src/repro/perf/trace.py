@@ -21,7 +21,12 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["KernelTrace", "trace_from_search", "DEFAULT_TRACE"]
+__all__ = [
+    "KernelTrace",
+    "trace_from_search",
+    "trace_from_profile",
+    "DEFAULT_TRACE",
+]
 
 KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
 
@@ -33,6 +38,12 @@ class KernelTrace:
     ``calls`` maps each of the paper's four kernels to its invocation
     count; ``reductions`` counts the scalar AllReduce points (one per
     ``evaluate`` and per ``derivativeCore`` batch in ExaML).
+
+    ``measured_seconds`` / ``measured_bytes`` optionally carry per-kernel
+    wall time and bytes moved as recorded by the dispatching backend's
+    :class:`~repro.core.backends.KernelProfile` — measured quantities
+    that :func:`repro.perf.costmodel.measured_costs` turns into
+    calibration input for the analytic predictions.
     """
 
     n_taxa: int
@@ -40,6 +51,8 @@ class KernelTrace:
     calls: dict[str, int]
     reductions: int
     description: str = ""
+    measured_seconds: dict[str, float] | None = None
+    measured_bytes: dict[str, int] | None = None
 
     def __post_init__(self) -> None:
         missing = [k for k in KERNELS if k not in self.calls]
@@ -53,26 +66,40 @@ class KernelTrace:
         return sum(self.calls.values())
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "n_taxa": self.n_taxa,
-                "traced_sites": self.traced_sites,
-                "calls": self.calls,
-                "reductions": self.reductions,
-                "description": self.description,
-            },
-            indent=2,
-        )
+        payload = {
+            "n_taxa": self.n_taxa,
+            "traced_sites": self.traced_sites,
+            "calls": self.calls,
+            "reductions": self.reductions,
+            "description": self.description,
+        }
+        if self.measured_seconds is not None:
+            payload["measured_seconds"] = self.measured_seconds
+        if self.measured_bytes is not None:
+            payload["measured_bytes"] = self.measured_bytes
+        return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "KernelTrace":
         d = json.loads(text)
+        seconds = d.get("measured_seconds")
+        nbytes = d.get("measured_bytes")
         return cls(
             n_taxa=d["n_taxa"],
             traced_sites=d["traced_sites"],
             calls={k: int(v) for k, v in d["calls"].items()},
             reductions=int(d["reductions"]),
             description=d.get("description", ""),
+            measured_seconds=(
+                {k: float(v) for k, v in seconds.items()}
+                if seconds is not None
+                else None
+            ),
+            measured_bytes=(
+                {k: int(v) for k, v in nbytes.items()}
+                if nbytes is not None
+                else None
+            ),
         )
 
     def save(self, path: str | Path) -> None:
@@ -84,14 +111,47 @@ class KernelTrace:
 
 
 def trace_from_search(result) -> KernelTrace:
-    """Extract a trace from a :class:`repro.search.SearchResult`."""
+    """Extract a trace from a :class:`repro.search.SearchResult`.
+
+    If the search engine dispatched through a profiling backend, the
+    measured per-kernel wall times and traffic ride along in the trace's
+    ``measured_*`` fields.
+    """
     counters = result.counters
+    seconds = None
+    nbytes = None
+    profile = getattr(result.engine, "profile", None)
+    if profile is not None and getattr(profile, "seconds", None):
+        seconds = profile.merged_seconds()
+        nbytes = profile.merged_bytes()
     return KernelTrace(
         n_taxa=result.tree.n_leaves,
         traced_sites=result.engine.patterns.n_patterns,
         calls=counters.merged(),
         reductions=counters.reductions,
         description="full ML tree search (parsimony start, model opt, lazy SPR)",
+        measured_seconds=seconds,
+        measured_bytes=nbytes,
+    )
+
+
+def trace_from_profile(
+    profile, n_taxa: int, traced_sites: int, description: str = ""
+) -> KernelTrace:
+    """Build a trace directly from a backend's :class:`KernelProfile`.
+
+    Unlike :func:`trace_from_search` this needs no search result — any
+    profiled workload (EPA run, partitioned evaluation, benchmark loop)
+    yields a replayable, *measured* kernel trace.
+    """
+    return KernelTrace(
+        n_taxa=n_taxa,
+        traced_sites=traced_sites,
+        calls=profile.merged(),
+        reductions=profile.reductions,
+        description=description,
+        measured_seconds=profile.merged_seconds(),
+        measured_bytes=profile.merged_bytes(),
     )
 
 

@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
@@ -107,13 +108,17 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
 
 
 def resume_engine(
-    patterns: PatternAlignment, checkpoint: Checkpoint
+    patterns: PatternAlignment,
+    checkpoint: Checkpoint,
+    backend: str | KernelBackend | None = None,
 ) -> LikelihoodEngine:
     """Rebuild an engine from a checkpoint over the original alignment.
 
     The alignment itself is not stored in the checkpoint (it is the
     immutable input, exactly as in ExaML, whose restarts re-read the
-    original PHYLIP file); taxon-set agreement is verified.
+    original PHYLIP file); taxon-set agreement is verified.  ``backend``
+    picks the kernel implementation of the resumed engine — a restart
+    may switch backends freely because the checkpoint stores no CLAs.
     """
     tree = Tree.from_newick(checkpoint.newick)
     if set(tree.leaf_names()) != set(patterns.taxa):
@@ -128,4 +133,4 @@ def resume_engine(
     gamma = GammaRates(
         alpha=checkpoint.alpha, n_categories=checkpoint.n_rate_categories
     )
-    return LikelihoodEngine(patterns, tree, model, gamma)
+    return make_engine(patterns, tree, model, gamma, backend=backend)

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.engine import LikelihoodEngine
+from ..core.backends import KernelBackend, get_backend, make_engine
 from ..phylo.alignment import Alignment, PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -99,6 +99,7 @@ def place_queries(
     gamma: GammaRates | None = None,
     newton_iterations: int = 4,
     keep_best: int = 5,
+    backend: str | KernelBackend | None = None,
 ) -> list[PlacementResult]:
     """Place each query sequence on its best reference branches.
 
@@ -112,16 +113,20 @@ def place_queries(
         ``{name: aligned_sequence}`` — aligned to the reference columns.
     keep_best:
         How many top placements to report per query.
+    backend:
+        Kernel backend name or instance shared by every per-query engine
+        (see :mod:`repro.core.backends`).
     """
     if isinstance(reference_alignment, Alignment):
         reference_alignment = reference_alignment.compress()
     if not queries:
         raise ValueError("no query sequences given")
+    resolved = get_backend(backend)
     results: list[PlacementResult] = []
     for name, seq in queries.items():
         merged = _merge_alignment(reference_alignment, {name: seq}).compress()
         tree = reference_tree.copy()
-        engine = LikelihoodEngine(merged, tree, model, gamma)
+        engine = make_engine(merged, tree, model, gamma, backend=resolved)
         # Candidate branches identified by endpoints (ids churn on edits).
         candidates = [(e.u, e.v) for e in tree.edges]
         placements: list[Placement] = []

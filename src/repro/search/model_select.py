@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backends import KernelBackend, get_backend, make_engine
 from ..core.engine import LikelihoodEngine
-from ..core.invariant import InvariantSitesEngine
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel, gtr, hky85, jc69, k80
 from ..phylo.tree import Tree
@@ -106,14 +106,14 @@ def _fit_one(
     with_gamma: bool,
     with_inv: bool,
     branch_passes: int,
+    backend: "str | KernelBackend | None" = None,
 ) -> ModelFit:
     gamma = GammaRates(1.0, 4) if with_gamma else GammaRates(1.0, 1)
-    if with_inv:
-        engine: LikelihoodEngine = InvariantSitesEngine(
-            patterns, tree.copy(), model, gamma, p_inv=0.05
-        )
-    else:
-        engine = LikelihoodEngine(patterns, tree.copy(), model, gamma)
+    engine: LikelihoodEngine = make_engine(
+        patterns, tree.copy(), model, gamma,
+        p_inv=0.05 if with_inv else None,
+        backend=backend,
+    )
     lnl = optimize_all_branches(engine, passes=branch_passes)
     family_ex, family_freq = _FAMILY_PARAMS[name]
     alpha = None
@@ -156,16 +156,19 @@ def select_model(
     include_gamma: bool = True,
     include_invariant: bool = False,
     branch_passes: int = 2,
+    backend: "str | KernelBackend | None" = None,
 ) -> tuple[ModelFit, list[ModelFit]]:
     """Fit the candidate family on a fixed tree; return (best, all_fits).
 
     ``criterion`` picks the ranking column (``"aic"``, ``"aicc"`` or
     ``"bic"``).  The topology is held fixed (standard model-selection
     practice); branch lengths and model parameters are optimised per
-    candidate.
+    candidate.  ``backend`` selects the kernel implementation shared by
+    every candidate fit.
     """
     if criterion not in ("aic", "aicc", "bic"):
         raise ValueError(f"unknown criterion {criterion!r}")
+    backend = get_backend(backend)
     fits: list[ModelFit] = []
     variants = [(False, False)]
     if include_gamma:
@@ -179,7 +182,7 @@ def select_model(
             fits.append(
                 _fit_one(
                     name, model, patterns, tree, with_gamma, with_inv,
-                    branch_passes,
+                    branch_passes, backend=backend,
                 )
             )
     fits.sort(key=lambda f: getattr(f, criterion))

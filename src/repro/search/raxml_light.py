@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
 from ..core.traversal import KernelCounters
 from ..phylo.alignment import Alignment, PatternAlignment
@@ -76,6 +77,7 @@ def ml_search(
     gamma: GammaRates | None = None,
     config: SearchConfig | None = None,
     starting_tree: Tree | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> SearchResult:
     """Run a complete maximum-likelihood tree search.
 
@@ -92,6 +94,9 @@ def ml_search(
     starting_tree:
         Optional user tree; otherwise a randomized stepwise-addition
         parsimony tree is built (RAxML-Light's default).
+    backend:
+        Kernel backend name or instance driving the whole search (see
+        :mod:`repro.core.backends`); ``None`` uses the process default.
     """
     t_start = time.perf_counter()
     config = config or SearchConfig()
@@ -110,7 +115,7 @@ def ml_search(
     for edge in tree.edges:
         edge.length = max(edge.length, 0.05)
 
-    engine = LikelihoodEngine(patterns, tree, model, gamma)
+    engine = make_engine(patterns, tree, model, gamma, backend=backend)
     trajectory: list[tuple[str, float]] = []
     trajectory.append(("start", engine.log_likelihood()))
 
