@@ -7,6 +7,9 @@ in practice — files in, files out:
 * ``repro search``    — full ML tree search on an alignment file
 * ``repro place``     — EPA: place query sequences on a reference tree
 * ``repro backends``  — list the registered PLF kernel backends
+* ``repro plan``      — print the levelized execution plan (dependency
+                        waves) for an alignment, optionally after a
+                        random SPR/NNI move (the incremental replan)
 * ``repro kernels``   — per-kernel VM measurements (Figure 3 raw data)
 * ``repro predict``   — trace-driven runtime/energy prediction for one
                         platform and alignment size (Table III cells)
@@ -87,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p_place)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
+
+    p_plan = sub.add_parser(
+        "plan", help="print the levelized execution plan (dependency waves)"
+    )
+    p_plan.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
+    p_plan.add_argument("--tree", type=Path,
+                        help="Newick tree (default: NJ on JC distances)")
+    p_plan.add_argument(
+        "--move", choices=["none", "spr", "nni"], default="none",
+        help="apply a random topology move to a validated engine and "
+             "show the incremental replan",
+    )
+    p_plan.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(p_plan)
 
     sub.add_parser("kernels", help="VM kernel measurements (Figure 3)")
 
@@ -192,17 +209,119 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(_args: argparse.Namespace) -> int:
+    import inspect
     import os
 
     from .core.backends import DEFAULT_BACKEND_ENV, available_backends
 
-    default = os.environ.get(DEFAULT_BACKEND_ENV, "reference")
-    width = max(len(info.name) for info in available_backends())
-    for info in available_backends():
+    infos = available_backends()
+    names = [info.name for info in infos]
+    env = os.environ.get(DEFAULT_BACKEND_ENV)
+    default = env if env is not None else "reference"
+    source = f"${DEFAULT_BACKEND_ENV}" if env is not None else "built-in default"
+    print(f"process default: {default}  (from {source})")
+    if default not in names:
+        print(
+            f"warning: {default!r} is not a registered backend — "
+            "engine construction will fail until it is fixed"
+        )
+    print()
+    width = max(len(n) for n in names)
+    for info in infos:
         marker = "*" if info.name == default else " "
         print(f"{marker} {info.name:<{width}}  {info.description}")
+        doc = inspect.getdoc(info.factory)
+        first = doc.splitlines()[0].strip() if doc else ""
+        if first and first != info.description:
+            print(f"  {'':<{width}}  {first}")
     print(f"\n(* = process default; override with ${DEFAULT_BACKEND_ENV} "
           "or --backend)")
+    return 0
+
+
+def _show_plan(plan, title: str) -> None:
+    """Print one levelized plan as a per-wave table plus a summary."""
+    print(title)
+    if not plan.waves:
+        print("  (empty plan: every required CLA is already valid)")
+        return
+    print(f"  {'wave':>4}  {'width':>5}  kernel mix")
+    for wave in plan.waves:
+        mix = ", ".join(
+            f"{kind.value} x{n}"
+            for kind, n in sorted(
+                wave.kernel_mix().items(), key=lambda kv: kv[0].value
+            )
+        )
+        print(f"  {wave.index:>4}  {wave.width:>5}  {mix}")
+    print(
+        f"  {plan.n_ops} ops in {plan.depth} waves "
+        f"(max width {plan.max_width}, mean width {plan.mean_width:.2f})"
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.engine import LikelihoodEngine
+    from .phylo import GammaRates, Tree, gtr, read_alignment
+
+    alignment = read_alignment(args.alignment)
+    patterns = alignment.compress()
+    print(
+        f"read {alignment.n_taxa} taxa x {alignment.n_sites} sites "
+        f"({patterns.n_patterns} patterns) from {args.alignment}"
+    )
+    if args.tree:
+        tree = Tree.from_newick(args.tree.read_text())
+    else:
+        from .phylo.distance import jc_distance, neighbor_joining
+
+        d, taxa = jc_distance(alignment)
+        tree = neighbor_joining(d, taxa)
+        print("tree: neighbor joining on JC distances")
+    engine = LikelihoodEngine(
+        patterns, tree, gtr(), GammaRates(1.0, 4), backend=args.backend
+    )
+    batched = getattr(engine.backend, "newview_batch", None) is not None
+    print(
+        f"backend: {type(engine.backend).__name__} "
+        f"({'stacked' if batched else 'per-op'} wave dispatch)\n"
+    )
+    root = engine.default_edge()
+    _show_plan(engine.plan_execution(root), f"full traversal (root edge {root}):")
+    if args.move != "none":
+        rng = np.random.default_rng(args.seed)
+        engine.log_likelihood(root)  # validate every CLA first
+        if args.move == "nni":
+            internal = [
+                eid for eid in tree.edge_ids
+                if not tree.is_leaf(tree.edge(eid).u)
+                and not tree.is_leaf(tree.edge(eid).v)
+            ]
+            eid = internal[int(rng.integers(len(internal)))]
+            tree.nni_swap(eid, int(rng.integers(2)))
+            desc = f"NNI across edge {eid}"
+        else:
+            targets: list[int] = []
+            pend = -1
+            for _ in range(200):
+                edge_ids = tree.edge_ids
+                pend = edge_ids[int(rng.integers(len(edge_ids)))]
+                targets = tree.spr_candidates(pend, radius=5)
+                if targets:
+                    break
+            if not targets:
+                print("no valid SPR move found")
+                return 1
+            target = targets[int(rng.integers(len(targets)))]
+            tree.spr(pend, target)
+            desc = f"SPR pruning edge {pend}, regrafting onto edge {target}"
+        print()
+        _show_plan(
+            engine.plan_execution(engine.default_edge()),
+            f"incremental replan after {desc}:",
+        )
     return 0
 
 
@@ -255,6 +374,7 @@ _HANDLERS = {
     "place": _cmd_place,
     "stats": _cmd_stats,
     "backends": _cmd_backends,
+    "plan": _cmd_plan,
     "kernels": _cmd_kernels,
     "predict": _cmd_predict,
 }

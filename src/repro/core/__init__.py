@@ -3,6 +3,8 @@
 ``kernels`` holds the NumPy reference implementations of ``newview``,
 ``evaluate``, ``derivativeSum`` and ``derivativeCore``; ``engine`` wires
 them to trees and alignments with structural CLA validity tracking;
+``traversal``/``schedule`` levelize traversal descriptors into
+dependency waves and execute them with batched kernel dispatch;
 ``vectorized`` re-expresses the kernels as vector programs for the
 simulated MIC (:mod:`repro.mic`); ``layouts`` implements the
 interleaved memory layout of Sec. V-B3.
@@ -26,7 +28,25 @@ from .engine import LikelihoodEngine
 from .layouts import InterleavedLayout
 from .memsave import MemorySavingEngine
 from .partitioned import Partition, PartitionedEngine, partition_workers
-from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
+from .schedule import (
+    FusedPlan,
+    FusedWave,
+    NewviewCall,
+    PlanExecutor,
+    WaveProfile,
+    WaveStats,
+    dispatch_wave,
+    fuse_plans,
+)
+from .traversal import (
+    ExecutionPlan,
+    KernelCounters,
+    KernelKind,
+    NewviewOp,
+    TraversalDescriptor,
+    Wave,
+    levelize,
+)
 
 __all__ = [
     "BackendInfo",
@@ -47,8 +67,19 @@ __all__ = [
     "Partition",
     "PartitionedEngine",
     "partition_workers",
+    "FusedPlan",
+    "FusedWave",
+    "NewviewCall",
+    "PlanExecutor",
+    "WaveProfile",
+    "WaveStats",
+    "dispatch_wave",
+    "fuse_plans",
+    "ExecutionPlan",
     "KernelCounters",
     "KernelKind",
     "NewviewOp",
     "TraversalDescriptor",
+    "Wave",
+    "levelize",
 ]

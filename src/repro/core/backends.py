@@ -113,6 +113,17 @@ class KernelProfile(KernelCounters):
         self.seconds[kind] = self.seconds.get(kind, 0.0) + elapsed_s
         self.bytes_moved[kind] = self.bytes_moved.get(kind, 0) + int(nbytes)
 
+    def reset(self) -> None:
+        """Zero the profile (counters, wall times, traffic).
+
+        Profiles are **cumulative**: a backend instance keeps
+        accumulating across every run (and every engine) that dispatches
+        through it.  Reset between runs for per-run measurements.
+        """
+        super().reset()
+        self.seconds.clear()
+        self.bytes_moved.clear()
+
     # -- aggregation to the paper's four kernel names ------------------
     def merged_seconds(self) -> dict[str, float]:
         """Wall seconds aggregated to the paper's four kernels."""
@@ -159,6 +170,20 @@ class KernelBackend(Protocol):
     lifetime (a backend instance may be shared by several engines — e.g.
     the per-rank sub-engines of a distributed run — in which case the
     profile aggregates across them).
+
+    Backends may additionally implement the **optional** stacked-wave
+    method (deliberately not part of the runtime-checkable protocol, so
+    plain per-op backends keep satisfying ``isinstance`` checks)::
+
+        def newview_batch(self, calls) -> list[tuple[ndarray, ndarray]]
+
+    where ``calls`` is a sequence of
+    :class:`repro.core.schedule.NewviewCall` — one wave of mutually
+    independent ``newview`` ops with prepared operands.  The plan
+    executor uses it for whole-wave dispatch when present and falls back
+    to a per-op loop otherwise, so implementing it is purely an
+    optimisation (see :class:`BlockedBackend` for a real stacked
+    implementation).
     """
 
     name: str
@@ -359,13 +384,19 @@ class BlockedBackend(_BackendBase):
     """
 
     name = "blocked"
-    description = "site-chunked kernels over preallocated scratch (cache blocking)"
+    description = (
+        "site-chunked kernels over preallocated scratch (cache blocking); "
+        "stacked tip-tip pair tables for whole-wave dispatch"
+    )
 
-    def __init__(self, block_sites: int = 2048) -> None:
+    def __init__(self, block_sites: int = 2048, pair_table_max: int = 4096) -> None:
         if block_sites < 1:
             raise ValueError("block_sites must be positive")
         super().__init__()
         self.block_sites = int(block_sites)
+        #: Largest ``codes1 x codes2`` pair-table the stacked tip-tip
+        #: path will materialise (DNA ambiguity alphabet: 16 x 16 = 256).
+        self.pair_table_max = int(pair_table_max)
         self._scratch: dict[tuple, np.ndarray] = {}
 
     # -- scratch management -------------------------------------------
@@ -463,6 +494,71 @@ class BlockedBackend(_BackendBase):
             a1, a2, z1, z2, scale1, scale2, z, sc,
         )
         return z, sc
+
+    # -- stacked wave dispatch (optional backend extension) ------------
+    def newview_batch(self, calls) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Stacked ``newview`` dispatch for one wave of independent ops.
+
+        The real win is the **tip-tip pair table**: within a wave, all
+        tip-tip ops sharing the same two tip-lookup operands (the engine
+        caches operands per branch *length*, so equal-length cherries
+        share them — this is where P-matrix construction amortises)
+        reduce to gathers from one precomputed table
+
+            T[m, n, c, k] = sum_i u_inv[k, i] lut1[c, m, i] lut2[c, n, i]
+
+        over the (tiny) code alphabet, turning four memory passes per op
+        into a single contiguous gather ``z = T[codes1, codes2]``.  The
+        per-site arithmetic (``(l1 * l2)`` then the ``u_inv``
+        contraction, summed over ``i`` in ascending order) matches the
+        reference kernel's association, so CLAs agree to round-off.
+
+        Tip-inner / inner-inner ops and tables that would not pay
+        (``m1 * m2`` beyond :attr:`pair_table_max`, or fewer patterns
+        than table entries) fall back to the per-op kernels.  Results
+        are returned in call order.
+        """
+        results: list = [None] * len(calls)
+        groups: dict[tuple[int, int, int], list[int]] = {}
+        for i, call in enumerate(calls):
+            if call.kind is KernelKind.NEWVIEW_TIP_TIP:
+                u_inv, lut1, codes1, lut2, codes2 = call.args
+                m1, m2 = lut1.shape[1], lut2.shape[1]
+                if m1 * m2 <= self.pair_table_max and codes1.shape[0] >= m1 * m2:
+                    groups.setdefault(
+                        (id(u_inv), id(lut1), id(lut2)), []
+                    ).append(i)
+                    continue
+            if call.kind is KernelKind.NEWVIEW_TIP_TIP:
+                results[i] = self.newview_tip_tip(*call.args)
+            elif call.kind is KernelKind.NEWVIEW_TIP_INNER:
+                results[i] = self.newview_tip_inner(*call.args)
+            else:
+                results[i] = self.newview_inner_inner(*call.args)
+        for idxs in groups.values():
+            u_inv, lut1, _, lut2, _ = calls[idxs[0]].args
+            t_table0 = time.perf_counter()
+            # (c, m, n, i): (l1 * l2) exactly as the per-op kernels
+            # associate, then the u_inv contraction -> (m, n, c, k).
+            prod = lut1[:, :, None, :] * lut2[:, None, :, :]
+            table = np.einsum("ki,cmni->mnck", u_inv, prod)
+            table_s = time.perf_counter() - t_table0
+            for j, i in enumerate(idxs):
+                codes1, codes2 = calls[i].args[2], calls[i].args[4]
+                t0 = time.perf_counter()
+                z = table[codes1, codes2]
+                sc = np.zeros(codes1.shape[0], dtype=np.int64)
+                elapsed = time.perf_counter() - t0
+                if j == 0:  # charge the shared table build to the group head
+                    elapsed += table_s
+                self.profile.record_timed(
+                    KernelKind.NEWVIEW_TIP_TIP,
+                    codes1.shape[0],
+                    elapsed,
+                    codes1.nbytes + codes2.nbytes + z.nbytes + sc.nbytes,
+                )
+                results[i] = (z, sc)
+        return results
 
     # -- evaluate ------------------------------------------------------
     def _site_likelihoods(self, z_left, z_right, exps, rate_weights) -> np.ndarray:

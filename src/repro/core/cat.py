@@ -181,9 +181,15 @@ class CatLikelihoodEngine(LikelihoodEngine):
     # ------------------------------------------------------------------
     # kernels
     # ------------------------------------------------------------------
-    def execute_traversal(self, desc) -> None:
+    def _run_ops(self, ops, *, batch: bool = True) -> None:  # noqa: ARG002
+        """CAT ``newview`` for one wave of independent ops.
+
+        The per-site branch tables bypass the backend kernels, so there
+        is no stacked dispatch here; the wave executor still drives the
+        schedule (and collects wave statistics) unchanged.
+        """
         tree = self.tree
-        for op in desc.ops:
+        for op in ops:
             if op.kind is KernelKind.NEWVIEW_TIP_TIP:
                 w1 = self._site_tip_lookup(
                     op.edge1, self._tip_codes[tree.name(op.child1)]
@@ -215,12 +221,7 @@ class CatLikelihoodEngine(LikelihoodEngine):
             z_out = (v @ self.eigen.u_inv.T)[:, None, :]
             if op.kind is not KernelKind.NEWVIEW_TIP_TIP:
                 rescale_clv(z_out, sc)
-            self._clas[op.node] = (z_out, sc)
-            self._valid[op.node] = (
-                op.up_edge,
-                self._last_sigs[(op.node, op.up_edge)],
-            )
-            self.counters.record(op.kind, self.patterns.n_patterns)
+            self._store_op(op, z_out, sc)
 
     # ------------------------------------------------------------------
     # root-level quantities

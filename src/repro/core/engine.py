@@ -33,7 +33,15 @@ from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from . import kernels
 from .backends import KernelBackend, KernelProfile, get_backend
-from .traversal import KernelCounters, KernelKind, NewviewOp, TraversalDescriptor
+from .schedule import NewviewCall, PlanExecutor, WaveStats, dispatch_wave
+from .traversal import (
+    ExecutionPlan,
+    KernelCounters,
+    KernelKind,
+    NewviewOp,
+    TraversalDescriptor,
+    levelize,
+)
 
 __all__ = ["LikelihoodEngine"]
 
@@ -75,6 +83,13 @@ class LikelihoodEngine:
         self.tree = tree
         self.backend = get_backend(backend)
         self.counters = KernelCounters()
+        #: Per-plan operand preparation cache: branch matrices and tip
+        #: lookup tables keyed by branch *length* (the model is fixed
+        #: within one plan execution), so same-length ops share operand
+        #: arrays — the identity a batching backend groups on.
+        self._prep_cache: dict[tuple, np.ndarray] = {}
+        #: The wave executor: the default dispatch path for every plan.
+        self.executor = PlanExecutor(self)
         self._model_version = 0
         self._clas: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._valid: dict[int, tuple[int, object]] = {}  # node -> (edge, signature)
@@ -112,6 +127,7 @@ class LikelihoodEngine:
             self._tip_eigen = dense @ self.eigen.u_inv.T
         self._model_version += 1
         self._valid.clear()
+        self._prep_cache.clear()  # operand cache embeds the old model
 
     def set_alpha(self, alpha: float) -> None:
         """Convenience: replace the Gamma shape parameter."""
@@ -175,57 +191,115 @@ class LikelihoodEngine:
         self._last_sigs = sigs
         return desc
 
+    #: Entry cap on the per-plan preparation cache (distinct branch
+    #: lengths met since the last clear); beyond it the cache is wiped
+    #: wholesale, bounding memory across long searches.
+    _PREP_CACHE_MAX = 512
+
     def _branch_a(self, edge_id: int) -> np.ndarray:
-        t = self.tree.edge(edge_id).length
-        return kernels.branch_matrices(self.eigen, self.rate_values, t)
+        """Per-rate branch matrices for an edge, cached by branch length.
+
+        Valid because the model is fixed between :meth:`set_model` calls
+        (which clear the cache) — so ops across a plan with equal branch
+        lengths share one operand array, amortising P-matrix
+        construction and letting a batching backend group them by
+        operand identity.
+        """
+        key = ("a", self.tree.edge(edge_id).length)
+        a = self._prep_cache.get(key)
+        if a is None:
+            if len(self._prep_cache) > self._PREP_CACHE_MAX:
+                self._prep_cache.clear()
+            a = kernels.branch_matrices(self.eigen, self.rate_values, key[1])
+            self._prep_cache[key] = a
+        return a
 
     def _tip_lookup(self, edge_id: int) -> np.ndarray:
-        return kernels.tip_branch_lookup(self._branch_a(edge_id), self._tip_eigen)
+        """Tip lookup table for an edge, cached alongside :meth:`_branch_a`."""
+        key = ("lut", self.tree.edge(edge_id).length)
+        lut = self._prep_cache.get(key)
+        if lut is None:
+            lut = kernels.tip_branch_lookup(
+                self._branch_a(edge_id), self._tip_eigen
+            )
+            self._prep_cache[key] = lut
+        return lut
+
+    def _prepare_op(self, op: NewviewOp) -> NewviewCall:
+        """Resolve one op's operands into a ready backend call.
+
+        Ops are prepared wave-by-wave, so inner children's CLAs were
+        produced by an earlier wave (or were already valid) by the time
+        this runs.
+        """
+        tree = self.tree
+        if op.kind is KernelKind.NEWVIEW_TIP_TIP:
+            args = (
+                self.eigen.u_inv,
+                self._tip_lookup(op.edge1),
+                self._tip_codes[tree.name(op.child1)],
+                self._tip_lookup(op.edge2),
+                self._tip_codes[tree.name(op.child2)],
+            )
+        elif op.kind is KernelKind.NEWVIEW_TIP_INNER:
+            # orient: child1 may be the inner one
+            if tree.is_leaf(op.child1):
+                tip_child, tip_edge = op.child1, op.edge1
+                inner_child, inner_edge = op.child2, op.edge2
+            else:
+                tip_child, tip_edge = op.child2, op.edge2
+                inner_child, inner_edge = op.child1, op.edge1
+            z2, sc2 = self._clas[inner_child]
+            args = (
+                self.eigen.u_inv,
+                self._tip_lookup(tip_edge),
+                self._tip_codes[tree.name(tip_child)],
+                self._branch_a(inner_edge),
+                z2, sc2,
+            )
+        else:
+            z1, sc1 = self._clas[op.child1]
+            z2, sc2 = self._clas[op.child2]
+            args = (
+                self.eigen.u_inv,
+                self._branch_a(op.edge1), self._branch_a(op.edge2),
+                z1, z2, sc1, sc2,
+            )
+        return NewviewCall(op=op, kind=op.kind, args=args)
+
+    def _store_op(self, op: NewviewOp, z: np.ndarray, sc: np.ndarray) -> None:
+        """Commit one op's result: CLA, validity entry, counters."""
+        self._clas[op.node] = (z, sc)
+        self._valid[op.node] = (op.up_edge, self._last_sigs[(op.node, op.up_edge)])
+        self.counters.record(op.kind, self.patterns.n_patterns)
+
+    def _run_ops(self, ops: tuple[NewviewOp, ...], *, batch: bool = True) -> None:
+        """Prepare, dispatch and store one wave of independent ops."""
+        calls = [self._prepare_op(op) for op in ops]
+        results = dispatch_wave(self.backend, calls, batch=batch)
+        for op, (z, sc) in zip(ops, results):
+            self._store_op(op, z, sc)
+
+    def plan_execution(self, root_edge: int) -> ExecutionPlan:
+        """Plan and levelize the traversal for ``root_edge``."""
+        return levelize(self.plan_traversal(root_edge))
+
+    def execute_plan(self, plan: ExecutionPlan) -> None:
+        """Run a levelized plan through the wave executor (default path)."""
+        self.executor.execute(plan)
 
     def execute_traversal(self, desc: TraversalDescriptor) -> None:
-        """Run the planned ``newview`` operations, updating CLAs in place."""
-        tree = self.tree
-        backend = self.backend
-        for op in desc.ops:
-            if op.kind is KernelKind.NEWVIEW_TIP_TIP:
-                lut1 = self._tip_lookup(op.edge1)
-                lut2 = self._tip_lookup(op.edge2)
-                z, sc = backend.newview_tip_tip(
-                    self.eigen.u_inv,
-                    lut1, self._tip_codes[tree.name(op.child1)],
-                    lut2, self._tip_codes[tree.name(op.child2)],
-                )
-            elif op.kind is KernelKind.NEWVIEW_TIP_INNER:
-                # orient: child1 may be the inner one
-                if tree.is_leaf(op.child1):
-                    tip_child, tip_edge = op.child1, op.edge1
-                    inner_child, inner_edge = op.child2, op.edge2
-                else:
-                    tip_child, tip_edge = op.child2, op.edge2
-                    inner_child, inner_edge = op.child1, op.edge1
-                z2, sc2 = self._clas[inner_child]
-                z, sc = backend.newview_tip_inner(
-                    self.eigen.u_inv,
-                    self._tip_lookup(tip_edge),
-                    self._tip_codes[tree.name(tip_child)],
-                    self._branch_a(inner_edge),
-                    z2, sc2,
-                )
-            else:
-                z1, sc1 = self._clas[op.child1]
-                z2, sc2 = self._clas[op.child2]
-                z, sc = backend.newview_inner_inner(
-                    self.eigen.u_inv,
-                    self._branch_a(op.edge1), self._branch_a(op.edge2),
-                    z1, z2, sc1, sc2,
-                )
-            self._clas[op.node] = (z, sc)
-            self._valid[op.node] = (op.up_edge, self._last_sigs[(op.node, op.up_edge)])
-            self.counters.record(op.kind, self.patterns.n_patterns)
+        """Run the planned ``newview`` operations, updating CLAs in place.
+
+        Compatibility wrapper: descriptors are levelized and executed as
+        plans; the old per-op loop survives only as the batch fallback
+        inside :mod:`repro.core.schedule`.
+        """
+        self.execute_plan(levelize(desc))
 
     def ensure_valid(self, root_edge: int) -> None:
         """Make both CLAs adjacent to ``root_edge`` valid."""
-        self.execute_traversal(self.plan_traversal(root_edge))
+        self.execute_plan(self.plan_execution(root_edge))
         # Topology moves retire node ids; evict their CLAs once the cache
         # clearly outgrows the live tree (node ids are never reused, so a
         # dead entry can never come back to life).
@@ -336,6 +410,23 @@ class LikelihoodEngine:
         :class:`~repro.parallel.distributed.DistributedEngine`.
         """
         return self.backend.profile
+
+    @property
+    def wave_stats(self) -> WaveStats:
+        """Cumulative wave-execution statistics of this engine's executor."""
+        return self.executor.stats
+
+    def reset_profile(self) -> None:
+        """Zero counters, the backend profile, and wave statistics.
+
+        Counters, profiles and wave stats are cumulative across repeated
+        ``run()``/``log_likelihood()`` calls; call this between runs to
+        obtain per-run measurements (e.g. before building a per-run
+        :func:`repro.perf.trace.trace_from_profile`).
+        """
+        self.counters.reset()
+        self.backend.profile.reset()
+        self.executor.stats.reset()
 
     def drop_caches(self) -> None:
         """Release all CLAs (memory-saving hook; they rebuild lazily)."""

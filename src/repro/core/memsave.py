@@ -26,13 +26,15 @@ from __future__ import annotations
 
 from itertools import count
 
+import numpy as np
+
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from .backends import KernelBackend
 from .engine import LikelihoodEngine
-from .traversal import TraversalDescriptor
+from .traversal import NewviewOp
 
 __all__ = ["MemorySavingEngine"]
 
@@ -84,34 +86,69 @@ class MemorySavingEngine(LikelihoodEngine):
         else:
             self._pin_counts[node] = remaining
 
-    def execute_traversal(self, desc: TraversalDescriptor) -> None:
-        """Materialise each planned node, recomputing evicted inputs.
+    def _store_op(self, op: NewviewOp, z: np.ndarray, sc: np.ndarray) -> None:
+        super()._store_op(op, z, sc)
+        self._touch(op.node)
+        self._computed_once.add(op.node)
 
-        Recursive with pinning: while a node's op runs, its children are
-        pinned so the LRU eviction cannot drop an operand between its
-        (re)computation and its use.
+    def _run_ops(self, ops: tuple[NewviewOp, ...], *, batch: bool = True) -> None:
+        """Wave execution with CLA slot recycling.
+
+        A wave may be wider than the CLA budget, so it is processed in
+        sub-batches of at most ``max_resident // 3`` ops (each op can
+        pin up to three slots: its two operands and its result).  Before
+        a sub-batch dispatches, any operand evicted since its producing
+        wave is transparently rematerialised; the operands and fresh
+        results stay pinned until the sub-batch commits, then the LRU
+        sweep reclaims slots for the next one.
         """
-        for op in desc.ops:
-            self._materialize(op.node, op.up_edge)
+        limit = max(1, self.max_resident // 3)
+        for start in range(0, len(ops), limit):
+            chunk = ops[start:start + limit]
+            pinned: list[int] = []
+            try:
+                for op in chunk:
+                    for child, edge in (
+                        (op.child1, op.edge1), (op.child2, op.edge2)
+                    ):
+                        if not self.tree.is_leaf(child):
+                            self._materialize(child, edge)
+                            self._pin(child)
+                            pinned.append(child)
+                    self._pin(op.node)
+                    pinned.append(op.node)
+                    # Extra newview work caused by eviction: the node was
+                    # computed before but its CLA slot has been recycled.
+                    if op.node in self._computed_once and op.node not in self._clas:
+                        self.recomputed_clas += 1
+                super()._run_ops(tuple(chunk), batch=batch)
+            finally:
+                for node in pinned:
+                    self._unpin(node)
+            self._evict()
 
     def ensure_valid(self, root_edge: int) -> None:
-        """Materialise both root CLAs, pinning them against each other.
+        """Execute the plan, pinning the two root CLAs against each other.
 
-        Without the pin, computing the second root side could evict the
-        first under a tight budget, leaving ``_root_sides`` nothing to
-        read.
+        Without the pin, later waves (or the second root side) could
+        evict the first root CLA under a tight budget, leaving
+        ``_root_sides`` nothing to read.
         """
-        self.plan_traversal(root_edge)  # refreshes the signature table
+        plan = self.plan_execution(root_edge)  # refreshes signature table
         edge = self.tree.edge(root_edge)
         pins = [n for n in (edge.u, edge.v) if not self.tree.is_leaf(n)]
         for node in pins:
             self._pin(node)
         try:
+            self.execute_plan(plan)
+            # A root side that was valid at plan time may have been
+            # recycled earlier; rematerialise on demand.
             for node in pins:
                 self._materialize(node, root_edge)
         finally:
             for node in pins:
                 self._unpin(node)
+        self._evict()
         # drop CLAs of nodes removed by topology moves (as in the base)
         live = set(self.tree.nodes)
         for node in [n for n in self._clas if n not in live]:
@@ -120,6 +157,13 @@ class MemorySavingEngine(LikelihoodEngine):
             self._last_used.pop(node, None)
 
     def _materialize(self, node: int, up_edge: int) -> None:
+        """Depth-first rematerialisation of one (possibly evicted) CLA.
+
+        Recursive with pinning: while a node's op runs, its children are
+        pinned so the LRU eviction cannot drop an operand between its
+        (re)computation and its use.  Dispatch goes straight through the
+        base per-op path — a recompute is a single op, not a wave.
+        """
         tree = self.tree
         if tree.is_leaf(node):
             return
@@ -131,7 +175,6 @@ class MemorySavingEngine(LikelihoodEngine):
         op = self._make_op(node, up_edge)
         if node in self._computed_once and node not in self._clas:
             self.recomputed_clas += 1
-        self._computed_once.add(node)
         self._pin(node)
         try:
             self._materialize(op.child1, op.edge1)
@@ -140,13 +183,11 @@ class MemorySavingEngine(LikelihoodEngine):
                 self._materialize(op.child2, op.edge2)
                 self._pin(op.child2)
                 try:
-                    single = TraversalDescriptor(root_edge=up_edge, ops=[op])
-                    super().execute_traversal(single)
+                    LikelihoodEngine._run_ops(self, (op,), batch=False)
                 finally:
                     self._unpin(op.child2)
             finally:
                 self._unpin(op.child1)
-            self._touch(node)
             # Evict while the fresh result is still pinned: when pinned
             # entries alone exceed the budget, the LRU sweep would
             # otherwise consume the node we just produced.

@@ -30,6 +30,7 @@ from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from .backends import KernelBackend, KernelProfile, get_backend
 from .engine import LikelihoodEngine
+from .schedule import FusedPlan, WaveStats, fuse_plans
 
 __all__ = ["Partition", "PartitionedEngine", "partition_workers"]
 
@@ -97,7 +98,30 @@ class PartitionedEngine:
         for engine in self.engines:
             engine.set_alpha(alpha)
 
+    def plan_execution(self, root_edge: int) -> FusedPlan:
+        """Per-partition plans fused into one cross-partition schedule.
+
+        Wave ``k`` of the fused plan carries wave ``k`` of every
+        partition, so the whole multi-gene update advances as a single
+        levelized schedule instead of partition-by-partition dribbles —
+        the batching (and, under a parallel driver, synchronisation)
+        unit spans partitions.
+        """
+        return fuse_plans(e.plan_execution(root_edge) for e in self.engines)
+
+    def execute_plan(self, fused: FusedPlan) -> None:
+        for wave in fused.waves:
+            for part_idx, sub in wave.parts:
+                self.engines[part_idx].executor.run_wave(sub)
+
+    def ensure_valid(self, root_edge: int) -> None:
+        """Validate every partition's root CLAs via the fused schedule."""
+        self.execute_plan(self.plan_execution(root_edge))
+
     def log_likelihood(self, root_edge: int | None = None) -> float:
+        if root_edge is None:
+            root_edge = self.default_edge()
+        self.ensure_valid(root_edge)
         return sum(e.log_likelihood(root_edge) for e in self.engines)
 
     def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
@@ -132,6 +156,21 @@ class PartitionedEngine:
     def profile(self) -> KernelProfile:
         """Measured per-kernel profile of the shared backend."""
         return self.backend.profile
+
+    @property
+    def wave_stats(self) -> WaveStats:
+        """Wave statistics aggregated across every partition's executor."""
+        total = WaveStats()
+        for engine in self.engines:
+            total.merge(engine.wave_stats)
+        return total
+
+    def reset_profile(self) -> None:
+        """Zero counters, the shared backend profile, and wave stats."""
+        self.backend.profile.reset()
+        for engine in self.engines:
+            engine.counters.reset()
+            engine.executor.stats.reset()
 
     def per_site_log_likelihoods(self) -> dict[str, np.ndarray]:
         """Per-partition pattern log-likelihood vectors."""

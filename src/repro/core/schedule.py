@@ -1,0 +1,319 @@
+"""Execution-plan scheduling: wave-batched kernel dispatch.
+
+The planner (:func:`repro.core.traversal.levelize`) folds a traversal
+descriptor into an :class:`~repro.core.traversal.ExecutionPlan` of
+dependency *waves*; this module executes such plans.  The
+:class:`PlanExecutor` is the single dispatch loop shared by every engine
+flavour: for each wave it prepares the kernel operands
+(:meth:`LikelihoodEngine._prepare_op`), hands the whole wave to the
+backend — as **one stacked call** when the backend implements the
+optional ``newview_batch`` method, falling back to a per-op loop
+otherwise — and stores the results.  The per-op path of the pre-IR
+engine survives only as that fallback, exactly as BEAGLE's
+``updatePartials`` hides whether an implementation consumes its
+operation queue one entry or one batch at a time.
+
+Every executed wave is measured (:class:`WaveProfile`: width, kernel
+mix, seconds, bytes) and folded into the executor's :class:`WaveStats`,
+the quantity :mod:`repro.perf.trace` attaches to kernel traces so the
+analytic cost model can separate serial-depth cost (one per wave) from
+parallel-width cost (one per op).
+
+:func:`fuse_plans` merges per-partition plans into one cross-partition
+schedule (used by :class:`repro.core.partitioned.PartitionedEngine`),
+so a multi-gene evaluation exposes a single wave sequence instead of
+per-partition dribbles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .traversal import ExecutionPlan, KernelKind, NewviewOp, Wave
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from .engine import LikelihoodEngine
+
+__all__ = [
+    "NewviewCall",
+    "dispatch_call",
+    "dispatch_wave",
+    "WaveProfile",
+    "WaveStats",
+    "PlanExecutor",
+    "FusedWave",
+    "FusedPlan",
+    "fuse_plans",
+]
+
+#: Backend method name per ``newview`` kernel kind.
+NEWVIEW_METHODS: dict[KernelKind, str] = {
+    KernelKind.NEWVIEW_TIP_TIP: "newview_tip_tip",
+    KernelKind.NEWVIEW_TIP_INNER: "newview_tip_inner",
+    KernelKind.NEWVIEW_INNER_INNER: "newview_inner_inner",
+}
+
+
+@dataclass(frozen=True)
+class NewviewCall:
+    """One prepared kernel invocation: an op plus its ready operands.
+
+    ``args`` matches the positional signature of the backend method named
+    by :data:`NEWVIEW_METHODS` for ``kind``.  Operand arrays obtained
+    from the engine's per-plan preparation cache are *shared* between
+    calls with equal branch lengths — which is what lets a batching
+    backend group same-edge-length ops by operand identity.
+    """
+
+    op: NewviewOp
+    kind: KernelKind
+    args: tuple
+
+
+def dispatch_call(backend, call: NewviewCall):
+    """Run one prepared ``newview`` through the backend (per-op path)."""
+    return getattr(backend, NEWVIEW_METHODS[call.kind])(*call.args)
+
+
+def dispatch_wave(
+    backend, calls: Sequence[NewviewCall], batch: bool = True
+) -> list:
+    """Dispatch one wave of mutually independent calls.
+
+    If ``batch`` is set and the backend provides the optional
+    ``newview_batch`` method, the whole wave goes down in one stacked
+    call; otherwise (and for single-op waves, where stacking cannot pay)
+    each call is dispatched individually — the retained per-op path.
+    Returns ``(z, scale)`` per call, in call order.
+    """
+    if batch and len(calls) > 1:
+        stacked = getattr(backend, "newview_batch", None)
+        if stacked is not None:
+            return list(stacked(calls))
+    return [dispatch_call(backend, call) for call in calls]
+
+
+# ----------------------------------------------------------------------
+# wave measurement
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaveProfile:
+    """Measurement of one executed wave."""
+
+    index: int
+    width: int
+    kernel_mix: dict[str, int]
+    seconds: float
+    bytes_moved: int
+    batched: bool
+
+
+@dataclass
+class WaveStats:
+    """Running totals over every wave an executor has run.
+
+    ``plans``/``waves``/``ops`` count executed plans (non-empty only),
+    their waves and ops; ``max_width`` is the widest wave seen (the
+    exploitable batch/thread parallelism); ``batched_ops`` counts ops
+    that went through a stacked ``newview_batch`` dispatch;
+    ``seconds``/``bytes_moved`` accumulate wall time and backend traffic
+    attributed to wave execution.  Like the kernel counters, the totals
+    are **cumulative across runs** — call :meth:`reset` (or
+    ``engine.reset_profile()``) for per-run numbers.
+    """
+
+    plans: int = 0
+    waves: int = 0
+    ops: int = 0
+    max_width: int = 0
+    batched_ops: int = 0
+    seconds: float = 0.0
+    bytes_moved: int = 0
+    kernel_mix: dict[str, int] = field(default_factory=dict)
+    last_plan: list[WaveProfile] = field(default_factory=list)
+
+    @property
+    def mean_width(self) -> float:
+        return self.ops / self.waves if self.waves else 0.0
+
+    def record(self, profile: WaveProfile) -> None:
+        self.waves += 1
+        self.ops += profile.width
+        self.max_width = max(self.max_width, profile.width)
+        if profile.batched:
+            self.batched_ops += profile.width
+        self.seconds += profile.seconds
+        self.bytes_moved += profile.bytes_moved
+        for kind, n in profile.kernel_mix.items():
+            self.kernel_mix[kind] = self.kernel_mix.get(kind, 0) + n
+        self.last_plan.append(profile)
+
+    def merge(self, other: "WaveStats") -> "WaveStats":
+        """Fold another executor's stats into this one (in place)."""
+        self.plans += other.plans
+        self.waves += other.waves
+        self.ops += other.ops
+        self.max_width = max(self.max_width, other.max_width)
+        self.batched_ops += other.batched_ops
+        self.seconds += other.seconds
+        self.bytes_moved += other.bytes_moved
+        for kind, n in other.kernel_mix.items():
+            self.kernel_mix[kind] = self.kernel_mix.get(kind, 0) + n
+        return self
+
+    def reset(self) -> None:
+        self.plans = 0
+        self.waves = 0
+        self.ops = 0
+        self.max_width = 0
+        self.batched_ops = 0
+        self.seconds = 0.0
+        self.bytes_moved = 0
+        self.kernel_mix.clear()
+        self.last_plan.clear()
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (attached to kernel traces)."""
+        return {
+            "plans": self.plans,
+            "waves": self.waves,
+            "ops": self.ops,
+            "max_width": self.max_width,
+            "mean_width": self.mean_width,
+            "batched_ops": self.batched_ops,
+            "seconds": self.seconds,
+            "bytes_moved": self.bytes_moved,
+            "kernel_mix": dict(self.kernel_mix),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WaveStats":
+        stats = cls(
+            plans=int(d.get("plans", 0)),
+            waves=int(d.get("waves", 0)),
+            ops=int(d.get("ops", 0)),
+            max_width=int(d.get("max_width", 0)),
+            batched_ops=int(d.get("batched_ops", 0)),
+            seconds=float(d.get("seconds", 0.0)),
+            bytes_moved=int(d.get("bytes_moved", 0)),
+        )
+        stats.kernel_mix = {
+            str(k): int(v) for k, v in d.get("kernel_mix", {}).items()
+        }
+        return stats
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class PlanExecutor:
+    """Executes :class:`ExecutionPlan` waves through an engine's backend.
+
+    Owned by the engine (``engine.executor``); parallel drivers
+    (fork-join, distributed, partitioned) call :meth:`run_wave` directly
+    to interleave their own synchronisation accounting between waves.
+
+    ``batch`` selects stacked dispatch (the default); with ``batch=False``
+    every wave runs through the per-op loop — the pre-IR behaviour,
+    retained as the fallback and as the baseline the scheduler benchmark
+    compares against.
+    """
+
+    def __init__(self, engine: "LikelihoodEngine", batch: bool = True) -> None:
+        self.engine = engine
+        self.batch = batch
+        self.stats = WaveStats()
+
+    def execute(self, plan: ExecutionPlan) -> None:
+        """Run a whole plan, wave by wave."""
+        if not plan.waves:
+            return
+        self.stats.plans += 1
+        self.stats.last_plan.clear()
+        self.engine._prep_cache.clear()
+        for wave in plan.waves:
+            self.run_wave(wave)
+
+    def run_wave(self, wave: Wave) -> None:
+        """Run one wave and record its :class:`WaveProfile`."""
+        if not wave.ops:
+            return
+        profile = getattr(self.engine.backend, "profile", None)
+        b0 = sum(profile.bytes_moved.values()) if profile is not None else 0
+        t0 = time.perf_counter()
+        self.engine._run_ops(wave.ops, batch=self.batch)
+        elapsed = time.perf_counter() - t0
+        b1 = sum(profile.bytes_moved.values()) if profile is not None else 0
+        batched = (
+            self.batch
+            and wave.width > 1
+            and getattr(self.engine.backend, "newview_batch", None) is not None
+        )
+        self.stats.record(
+            WaveProfile(
+                index=wave.index,
+                width=wave.width,
+                kernel_mix={k.value: n for k, n in wave.kernel_mix().items()},
+                seconds=elapsed,
+                bytes_moved=b1 - b0,
+                batched=batched,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# cross-partition fusion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedWave:
+    """One cross-partition wave: same-level waves of several plans."""
+
+    index: int
+    parts: tuple[tuple[int, Wave], ...]  # (partition index, wave)
+
+    @property
+    def width(self) -> int:
+        return sum(w.width for _, w in self.parts)
+
+
+@dataclass
+class FusedPlan:
+    """Per-partition plans merged into one levelized schedule.
+
+    Wave ``k`` of the fused plan holds wave ``k`` of every partition
+    plan deep enough to have one; all its ops remain mutually
+    independent (partitions never share CLAs), so the fused wave is the
+    batching/synchronisation unit for multi-gene evaluation.
+    """
+
+    waves: list[FusedWave] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.waves)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(w.width for w in self.waves)
+
+    @property
+    def max_width(self) -> int:
+        return max((w.width for w in self.waves), default=0)
+
+
+def fuse_plans(plans: Iterable[ExecutionPlan]) -> FusedPlan:
+    """Merge per-partition plans level-by-level into one schedule."""
+    plans = list(plans)
+    depth = max((p.depth for p in plans), default=0)
+    fused = FusedPlan()
+    for k in range(depth):
+        parts = tuple(
+            (i, p.waves[k]) for i, p in enumerate(plans) if k < p.depth
+        )
+        if parts:
+            fused.waves.append(FusedWave(index=k, parts=parts))
+    return fused

@@ -1,4 +1,4 @@
-"""Traversal descriptors and kernel-invocation accounting.
+"""Traversal descriptors, the execution-plan IR, and kernel accounting.
 
 ExaML replicates the tree-search state on every rank and drives the PLF
 through *traversal descriptors* — ordered lists of ``newview``
@@ -6,6 +6,15 @@ operations that make a virtual root's two CLAs valid.  We keep the same
 structure: the engine plans a traversal (only the stale nodes), executes
 it, and records every kernel invocation in a :class:`KernelCounters`
 object.
+
+On top of the flat descriptor sits the **execution-plan IR**: the
+:func:`levelize` planner folds a descriptor into dependency *waves*
+(:class:`Wave`), where every op's inner children were produced by an
+earlier wave (or were already valid) and the ops within one wave are
+mutually independent.  The plan is the unit of optimisation for batched
+kernel dispatch (:mod:`repro.core.schedule`), fork-join wave pickup, and
+distributed sync placement — BEAGLE's ``updatePartials`` operation queue
+generalised into a levelized schedule.
 
 The counters are the bridge to the performance model: a full tree search
 run yields, per kernel, the number of calls and the number of
@@ -19,7 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["KernelKind", "NewviewOp", "TraversalDescriptor", "KernelCounters"]
+__all__ = [
+    "KernelKind",
+    "NewviewOp",
+    "TraversalDescriptor",
+    "Wave",
+    "ExecutionPlan",
+    "levelize",
+    "KernelCounters",
+]
 
 
 class KernelKind(str, Enum):
@@ -71,6 +88,103 @@ class TraversalDescriptor:
         return len(self.ops)
 
 
+@dataclass(frozen=True)
+class Wave:
+    """One dependency level of an :class:`ExecutionPlan`.
+
+    Every op in a wave reads only CLAs produced by *earlier* waves (or
+    tips / already-valid CLAs), so the ops are mutually independent and
+    may be dispatched as one batched kernel call, farmed out to
+    fork-join workers, or executed in any order.
+    """
+
+    index: int
+    ops: tuple[NewviewOp, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.ops)
+
+    def kernel_mix(self) -> dict[KernelKind, int]:
+        mix: dict[KernelKind, int] = {}
+        for op in self.ops:
+            mix[op.kind] = mix.get(op.kind, 0) + 1
+        return mix
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class ExecutionPlan:
+    """A levelized schedule: the IR between planning and dispatch.
+
+    Produced by :func:`levelize` from a :class:`TraversalDescriptor`;
+    consumed by :class:`repro.core.schedule.PlanExecutor`.  ``depth``
+    (number of waves) bounds the serial critical path; ``max_width``
+    bounds the exploitable batch/thread parallelism; both feed the
+    analytic cost model's serial-depth vs. parallel-width split.
+    """
+
+    root_edge: int
+    waves: list[Wave] = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(w) for w in self.waves)
+
+    @property
+    def depth(self) -> int:
+        return len(self.waves)
+
+    @property
+    def max_width(self) -> int:
+        return max((w.width for w in self.waves), default=0)
+
+    @property
+    def mean_width(self) -> float:
+        return self.n_ops / self.depth if self.waves else 0.0
+
+    def kernel_mix(self) -> dict[KernelKind, int]:
+        mix: dict[KernelKind, int] = {}
+        for wave in self.waves:
+            for kind, n in wave.kernel_mix().items():
+                mix[kind] = mix.get(kind, 0) + n
+        return mix
+
+    def iter_ops(self):
+        """Flat op iteration in a valid (topological) execution order."""
+        for wave in self.waves:
+            yield from wave.ops
+
+    def __len__(self) -> int:
+        return self.n_ops
+
+
+def levelize(desc: TraversalDescriptor) -> ExecutionPlan:
+    """Fold a traversal descriptor into dependency waves.
+
+    An op's *level* is ``max(level(child1), level(child2)) + 1`` where
+    children not updated by this descriptor (tips, or CLAs that are
+    already valid) sit at level ``-1``.  Descriptors list ops in
+    postorder (children before parents), so a single forward pass
+    assigns final levels; ops sharing a level are mutually independent
+    by construction and become one :class:`Wave`.
+    """
+
+    level: dict[int, int] = {}
+    buckets: dict[int, list[NewviewOp]] = {}
+    for op in desc.ops:
+        lvl = max(level.get(op.child1, -1), level.get(op.child2, -1)) + 1
+        level[op.node] = lvl
+        buckets.setdefault(lvl, []).append(op)
+    waves = [
+        Wave(index=i, ops=tuple(buckets[lvl]))
+        for i, lvl in enumerate(sorted(buckets))
+    ]
+    return ExecutionPlan(root_edge=desc.root_edge, waves=waves)
+
+
 @dataclass
 class KernelCounters:
     """Running totals of kernel invocations and processed site units.
@@ -118,6 +232,20 @@ class KernelCounters:
         c.site_units = dict(self.site_units)
         c.reductions = self.reductions
         return c
+
+    def reset(self) -> None:
+        """Zero all totals.
+
+        Counters are **cumulative across runs** by default: repeated
+        ``run()`` / ``log_likelihood()`` calls on the same engine keep
+        adding to the same object.  Call ``reset()`` (or
+        ``engine.reset_profile()``) between runs when you need
+        per-run numbers, e.g. before building a per-run
+        :class:`repro.perf.trace.KernelTrace`.
+        """
+        self.calls.clear()
+        self.site_units.clear()
+        self.reductions = 0
 
     def diff(self, earlier: "KernelCounters") -> "KernelCounters":
         """Counters accumulated since ``earlier`` (a prior :meth:`copy`)."""

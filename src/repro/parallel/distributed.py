@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
+from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -80,6 +81,13 @@ class DistributedEngine:
         # One backend instance across ranks: the profile aggregates the
         # whole distributed workload (per-rank counters stay separate).
         self.backend = get_backend(backend)
+        # Wave boundaries crossed by the levelized schedule.  Unlike the
+        # PThreads scheme these are *not* synchronisation points: ExaML
+        # exchanges nothing between consecutive newview calls, so a wave
+        # boundary is purely a bookkeeping marker (the AllReduce at
+        # ``evaluate`` piggybacks the final one).  Communication cost is
+        # charged only by the SimMPI reductions.
+        self.wave_boundaries = 0
         self.ranks = [
             LikelihoodEngine(
                 _slice_patterns(patterns, self.distribution.indices_of(r)),
@@ -111,8 +119,27 @@ class DistributedEngine:
     def default_edge(self) -> int:
         return self.ranks[0].default_edge()
 
+    def ensure_valid(self, root_edge: int) -> None:
+        """Advance every rank through the levelized plan wave-by-wave.
+
+        All ranks share the tree, so their plans levelize identically;
+        running them in lock-step mirrors ExaML's deterministic replay.
+        Each wave increments :attr:`wave_boundaries` but charges *no*
+        communication — there is no message between newview calls.
+        """
+        plans = [engine.plan_execution(root_edge) for engine in self.ranks]
+        depth = max((p.depth for p in plans), default=0)
+        for k in range(depth):
+            self.wave_boundaries += 1
+            for engine, plan in zip(self.ranks, plans):
+                if k < plan.depth:
+                    engine.executor.run_wave(plan.waves[k])
+
     def log_likelihood(self, root_edge: int | None = None) -> float:
         """Partial per-rank lnL, combined by one scalar AllReduce."""
+        if root_edge is None:
+            root_edge = self.default_edge()
+        self.ensure_valid(root_edge)
         parts = [engine.log_likelihood(root_edge) for engine in self.ranks]
         return float(self.mpi.allreduce_sum(parts)[0])
 
@@ -158,3 +185,11 @@ class DistributedEngine:
     def comm_seconds(self) -> float:
         """Modelled communication time accumulated so far."""
         return self.mpi.comm_seconds
+
+    @property
+    def wave_stats(self) -> WaveStats:
+        """Wave statistics merged across every rank's executor."""
+        total = WaveStats()
+        for engine in self.ranks:
+            total.merge(engine.wave_stats)
+        return total

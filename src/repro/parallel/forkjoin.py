@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
+from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -80,6 +81,24 @@ class ForkJoinEngine:
         self.parallel_regions += 1
         self.sync_seconds += self.sync_model.region_overhead_s(self.n_threads)
 
+    def ensure_valid(self, root_edge: int) -> None:
+        """Run the levelized plan with one parallel region per wave.
+
+        Workers pick up *whole waves*: every thread executes its site
+        slice of wave ``k`` inside one fork-join region (announcement +
+        completion barrier), instead of paying two syncs per individual
+        ``newview`` call — the batching the execution-plan IR buys the
+        PThreads scheme.  All workers share the tree, so their plans
+        levelize identically.
+        """
+        plans = [w.plan_execution(root_edge) for w in self.workers]
+        depth = max((p.depth for p in plans), default=0)
+        for k in range(depth):
+            self._region()  # one region (two barriers) per wave
+            for worker, plan in zip(self.workers, plans):
+                if k < plan.depth:
+                    worker.executor.run_wave(plan.waves[k])
+
     # -- LikelihoodEngine-compatible surface ---------------------------
     @property
     def rates_model(self) -> GammaRates:
@@ -101,12 +120,16 @@ class ForkJoinEngine:
         return self.workers[0].default_edge()
 
     def log_likelihood(self, root_edge: int | None = None) -> float:
-        self._region()
+        if root_edge is None:
+            root_edge = self.default_edge()
+        self.ensure_valid(root_edge)  # wave regions
+        self._region()  # the evaluate region (shared-memory reduction)
         return float(
             sum(worker.log_likelihood(root_edge) for worker in self.workers)
         )
 
     def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
+        self.ensure_valid(root_edge)  # wave regions
         self._region()
         return [worker.edge_sum_buffer(root_edge) for worker in self.workers]
 
@@ -141,3 +164,11 @@ class ForkJoinEngine:
     def profile(self) -> KernelProfile:
         """Measured profile of the shared backend (all threads)."""
         return self.backend.profile
+
+    @property
+    def wave_stats(self) -> WaveStats:
+        """Wave statistics merged across every worker's executor."""
+        total = WaveStats()
+        for worker in self.workers:
+            total.merge(worker.wave_stats)
+        return total

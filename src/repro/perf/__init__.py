@@ -14,6 +14,7 @@ from .costmodel import (
     MeasuredKernelCost,
     measure_kernel_cycles,
     measured_costs,
+    wave_schedule_costs,
 )
 from .energy import energy_wh, relative_energy_savings
 from .platforms import (
@@ -44,6 +45,7 @@ __all__ = [
     "MeasuredKernelCost",
     "measure_kernel_cycles",
     "measured_costs",
+    "wave_schedule_costs",
     "energy_wh",
     "relative_energy_savings",
     "BASELINE",

@@ -43,6 +43,7 @@ __all__ = [
     "CostModel",
     "MeasuredKernelCost",
     "measured_costs",
+    "wave_schedule_costs",
 ]
 
 KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
@@ -230,6 +231,86 @@ class CostModel:
     def kernel_speedup_vs(self, other: "CostModel", kernel: str, sites: float) -> float:
         """Whole-platform speedup of ``self`` over ``other`` for a kernel."""
         return other.kernel_time(kernel, sites) / self.kernel_time(kernel, sites)
+
+    def wave_time(
+        self,
+        kernel: str,
+        sites: float,
+        width: int,
+        n_workers: int | None = None,
+        batched: bool = True,
+    ) -> float:
+        """Wall seconds for one *wave* of ``width`` independent calls.
+
+        The data-parallel part scales with the wave width (every op
+        sweeps its sites); the per-call serial overhead (P-matrix
+        construction, bookkeeping) is charged **once per wave** under
+        stacked dispatch (``batched=True``) but **once per op** on the
+        per-op fallback path — the asymmetry the execution-plan IR
+        exploits, and the term that dominates on the in-order MIC core.
+        """
+        if width < 0:
+            raise ValueError("negative wave width")
+        if width == 0:
+            return 0.0
+        if kernel not in KERNELS:
+            raise KeyError(f"unknown kernel {kernel!r}")
+        n_workers = n_workers or self.platform.cores
+        sites_per_core = np.ceil(sites / n_workers)
+        cyc = self.cycles_per_site(kernel) * sites_per_core * width
+        compute = cyc / (self.platform.clock_ghz * 1e9)
+        n_overheads = 1 if batched else width
+        return compute + n_overheads * self.serial_overhead_s(kernel)
+
+
+def wave_schedule_costs(
+    model: CostModel, wave_summary, sites: float, n_workers: int | None = None
+) -> dict[str, float]:
+    """Serial-depth vs parallel-width decomposition of a wave schedule.
+
+    ``wave_summary`` is a :class:`repro.core.schedule.WaveStats` (or its
+    ``to_dict()`` payload as attached to a
+    :class:`repro.perf.trace.KernelTrace`).  All waves carry ``newview``
+    ops — the only kernel the levelized planner schedules.
+
+    Returns a dict with
+
+    * ``serial_depth_s`` — per-wave serial overhead (one P-matrix/setup
+      charge per wave: the irreducible critical-path cost),
+    * ``parallel_width_s`` — data-parallel compute summed over every op
+      (spreadable over ``n_workers``),
+    * ``per_op_serial_s`` — serial overhead the per-op path would pay
+      (one charge per op),
+    * ``batch_saving_s`` — overhead eliminated by stacked dispatch
+      (``per_op_serial_s - serial_depth_s``),
+    * ``batched_total_s`` / ``per_op_total_s`` — modelled wall time of
+      the two dispatch modes.
+    """
+    if hasattr(wave_summary, "to_dict"):
+        wave_summary = wave_summary.to_dict()
+    waves = int(wave_summary.get("waves", 0))
+    ops = int(wave_summary.get("ops", 0))
+    n_workers = n_workers or model.platform.cores
+    sites_per_core = float(np.ceil(sites / n_workers))
+    per_op_compute = (
+        model.cycles_per_site("newview")
+        * sites_per_core
+        / (model.platform.clock_ghz * 1e9)
+    )
+    overhead = model.serial_overhead_s("newview")
+    serial_depth_s = waves * overhead
+    parallel_width_s = ops * per_op_compute
+    per_op_serial_s = ops * overhead
+    return {
+        "waves": float(waves),
+        "ops": float(ops),
+        "serial_depth_s": serial_depth_s,
+        "parallel_width_s": parallel_width_s,
+        "per_op_serial_s": per_op_serial_s,
+        "batch_saving_s": per_op_serial_s - serial_depth_s,
+        "batched_total_s": serial_depth_s + parallel_width_s,
+        "per_op_total_s": per_op_serial_s + parallel_width_s,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,13 @@ class KernelTrace:
     :class:`~repro.core.backends.KernelProfile` — measured quantities
     that :func:`repro.perf.costmodel.measured_costs` turns into
     calibration input for the analytic predictions.
+
+    ``wave_summary`` optionally carries the levelized-schedule shape of
+    the traced workload (a :meth:`repro.core.schedule.WaveStats.to_dict`
+    payload: plans, waves, ops, max/mean width, batched-op share).  The
+    wave structure — not just the call mix — is what the scheduling cost
+    model (:func:`repro.perf.costmodel.wave_schedule_costs`) needs to
+    separate serial depth from parallel width.
     """
 
     n_taxa: int
@@ -53,6 +60,7 @@ class KernelTrace:
     description: str = ""
     measured_seconds: dict[str, float] | None = None
     measured_bytes: dict[str, int] | None = None
+    wave_summary: dict | None = None
 
     def __post_init__(self) -> None:
         missing = [k for k in KERNELS if k not in self.calls]
@@ -77,6 +85,8 @@ class KernelTrace:
             payload["measured_seconds"] = self.measured_seconds
         if self.measured_bytes is not None:
             payload["measured_bytes"] = self.measured_bytes
+        if self.wave_summary is not None:
+            payload["wave_summary"] = self.wave_summary
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -100,6 +110,7 @@ class KernelTrace:
                 if nbytes is not None
                 else None
             ),
+            wave_summary=d.get("wave_summary"),
         )
 
     def save(self, path: str | Path) -> None:
@@ -124,6 +135,10 @@ def trace_from_search(result) -> KernelTrace:
     if profile is not None and getattr(profile, "seconds", None):
         seconds = profile.merged_seconds()
         nbytes = profile.merged_bytes()
+    wave_stats = getattr(result.engine, "wave_stats", None)
+    wave_summary = (
+        wave_stats.to_dict() if wave_stats is not None and wave_stats.waves else None
+    )
     return KernelTrace(
         n_taxa=result.tree.n_leaves,
         traced_sites=result.engine.patterns.n_patterns,
@@ -132,17 +147,34 @@ def trace_from_search(result) -> KernelTrace:
         description="full ML tree search (parsimony start, model opt, lazy SPR)",
         measured_seconds=seconds,
         measured_bytes=nbytes,
+        wave_summary=wave_summary,
     )
 
 
 def trace_from_profile(
-    profile, n_taxa: int, traced_sites: int, description: str = ""
+    profile, n_taxa: int, traced_sites: int, description: str = "",
+    wave_stats=None,
 ) -> KernelTrace:
     """Build a trace directly from a backend's :class:`KernelProfile`.
 
     Unlike :func:`trace_from_search` this needs no search result — any
     profiled workload (EPA run, partitioned evaluation, benchmark loop)
     yields a replayable, *measured* kernel trace.
+
+    .. note:: **Cumulative, not per-run.**  A
+       :class:`~repro.core.backends.KernelProfile` (and likewise
+       :class:`~repro.core.traversal.KernelCounters` and
+       :class:`~repro.core.schedule.WaveStats`) accumulates across every
+       workload dispatched through its backend since construction or the
+       last explicit ``reset()``.  This function therefore reads the
+       *cumulative* numbers: to trace a single run, call
+       ``profile.reset()`` (or the engine-level ``reset_profile()``,
+       which also zeroes counters and wave statistics) immediately
+       before the workload, then build the trace immediately after.
+
+    ``wave_stats`` (a :class:`repro.core.schedule.WaveStats`, e.g. an
+    engine's ``wave_stats`` property) optionally attaches the levelized
+    schedule shape — it follows the same cumulative semantics.
     """
     return KernelTrace(
         n_taxa=n_taxa,
@@ -152,6 +184,11 @@ def trace_from_profile(
         description=description,
         measured_seconds=profile.merged_seconds(),
         measured_bytes=profile.merged_bytes(),
+        wave_summary=(
+            wave_stats.to_dict()
+            if wave_stats is not None and wave_stats.waves
+            else None
+        ),
     )
 
 
