@@ -13,10 +13,19 @@ in practice — files in, files out:
 * ``repro kernels``   — per-kernel VM measurements (Figure 3 raw data)
 * ``repro predict``   — trace-driven runtime/energy prediction for one
                         platform and alignment size (Table III cells)
+* ``repro trace``     — validate + summarise a saved Chrome trace (top
+                        spans by self time, per-kernel histograms, wave
+                        timeline)
 
 ``repro search`` and ``repro place`` accept ``--backend`` to pick the
 kernel implementation (reference / blocked / shadow); the
 ``REPRO_BACKEND`` environment variable sets the process-wide default.
+
+Tracing: ``repro search``/``repro place`` accept ``--trace out.json``
+to record a Chrome trace of the run (open it in Perfetto, or feed it to
+``repro trace``).  Setting ``REPRO_TRACE=/path.json`` enables the same
+for *any* subcommand.  While tracing is on, ``repro backends`` and
+``repro plan`` also print the metrics-registry snapshot.
 """
 
 from __future__ import annotations
@@ -41,6 +50,22 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
             "PLF kernel backend (default: $"
             + DEFAULT_BACKEND_ENV
             + " or 'reference'; see 'repro backends')"
+        ),
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` option to a subcommand parser."""
+    from .obs.spans import TRACE_ENV
+
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help=(
+            "record a Chrome trace of this run to OUT.json "
+            "(also enabled CLI-wide by $" + TRACE_ENV + ")"
         ),
     )
 
@@ -74,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default="parsimony",
                           help="starting-tree method")
     _add_backend_flag(p_search)
+    _add_trace_flag(p_search)
 
     p_stats = sub.add_parser("stats", help="alignment summary statistics")
     p_stats.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
@@ -88,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--out", type=Path, help="jplace output")
     p_place.add_argument("--best", type=int, default=5)
     _add_backend_flag(p_place)
+    _add_trace_flag(p_place)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
 
@@ -113,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--system",
         choices=["cpu2630", "cpu2680", "mic1", "mic2"],
         default="mic1",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="validate + summarise a saved Chrome trace"
+    )
+    p_trace.add_argument(
+        "trace_file", type=Path, help="Chrome trace JSON (from --trace)"
+    )
+    p_trace.add_argument(
+        "--top", type=int, default=15,
+        help="rows in the self-time table and wave timeline (default 15)",
     )
     return parser
 
@@ -208,6 +246,51 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_snapshot() -> None:
+    """Print the metrics-registry snapshot when tracing is enabled."""
+    from . import obs
+
+    if not obs.is_enabled():
+        return
+    snap = obs.get_registry().snapshot()
+    print(f"\nmetrics registry ({len(snap)} series):")
+    if not snap:
+        print("  (empty — nothing instrumented has run yet)")
+        return
+    width = max(len(name) for name in snap)
+    for name, entry in sorted(snap.items()):
+        if entry["type"] == "histogram":
+            print(
+                f"  {name:<{width}}  histogram  count={entry['count']} "
+                f"sum={entry['sum']:.6g}"
+            )
+        else:
+            print(f"  {name:<{width}}  {entry['type']:<9}  {entry['value']:g}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        load_chrome,
+        render_summary,
+        summarize_chrome,
+        validate_chrome,
+    )
+
+    payload = load_chrome(args.trace_file)
+    problems = validate_chrome(payload)
+    if problems:
+        print(f"{args.trace_file}: INVALID trace ({len(problems)} problems)")
+        for p in problems[:20]:
+            print(f"  {p}")
+        if len(problems) > 20:
+            print(f"  ... and {len(problems) - 20} more")
+        return 1
+    print(f"{args.trace_file}: valid Chrome trace")
+    print()
+    print(render_summary(summarize_chrome(payload), top=args.top), end="")
+    return 0
+
+
 def _cmd_backends(_args: argparse.Namespace) -> int:
     import inspect
     import os
@@ -236,6 +319,7 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
             print(f"  {'':<{width}}  {first}")
     print(f"\n(* = process default; override with ${DEFAULT_BACKEND_ENV} "
           "or --backend)")
+    _print_metrics_snapshot()
     return 0
 
 
@@ -322,6 +406,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             engine.plan_execution(engine.default_edge()),
             f"incremental replan after {desc}:",
         )
+    _print_metrics_snapshot()
     return 0
 
 
@@ -377,13 +462,42 @@ _HANDLERS = {
     "plan": _cmd_plan,
     "kernels": _cmd_kernels,
     "predict": _cmd_predict,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    When ``--trace OUT.json`` is given (search/place) or the
+    ``REPRO_TRACE`` environment variable names a path (any subcommand
+    except ``trace`` itself), the whole run executes with tracing
+    enabled and the Chrome trace is written on the way out — even when
+    the handler raises, so a crashed search still leaves its timeline
+    behind.
+    """
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None and args.command != "trace":
+        from .obs.spans import env_trace_path
+
+        trace_path = env_trace_path()
+    if trace_path is None:
+        return _HANDLERS[args.command](args)
+
+    from . import obs
+
+    obs.enable(description=f"repro {args.command}")
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        tracer = obs.get_tracer()
+        out = obs.write_chrome(tracer, trace_path)
+        print(
+            f"wrote trace: {out} ({tracer.n_events} events; "
+            f"inspect with 'repro trace {out}' or ui.perfetto.dev)"
+        )
+        obs.disable()
 
 
 if __name__ == "__main__":

@@ -54,6 +54,8 @@ from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from . import kernels
 from .scaling import LOG_SCALE_STEP, rescale_clv
 from .traversal import KernelCounters, KernelKind
@@ -90,6 +92,46 @@ _PAPER_KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
 # ----------------------------------------------------------------------
 # profiling
 # ----------------------------------------------------------------------
+def _observe_kernel(
+    kind: KernelKind,
+    backend_name: str,
+    n_patterns: int,
+    t_start: float,
+    elapsed_s: float,
+    nbytes: int,
+) -> None:
+    """Mirror one kernel dispatch into the obs layer (tracer + metrics).
+
+    Callers gate on :data:`repro.obs.spans.ENABLED` *before* calling, so
+    disabled runs pay only that flag check.  The span rides on the
+    interval the dispatcher already measured for its
+    :class:`KernelProfile` — the two views of kernel time are therefore
+    identical by construction, which is what lets
+    :func:`repro.perf.trace.trace_from_spans` feed the measured-costs
+    calibration path from a saved trace alone.
+    """
+    _obs.get_tracer().add_complete(
+        "kernel." + kind.value,
+        t_start,
+        t_start + elapsed_s,
+        args={
+            "patterns": int(n_patterns),
+            "bytes": int(nbytes),
+            "backend": backend_name,
+        },
+    )
+    reg = _obs_metrics.get_registry()
+    reg.counter(
+        "repro_kernel_dispatch_total", "PLF kernel dispatches"
+    ).inc()
+    key = "newview" if kind.newview_like else kind.value
+    reg.histogram(
+        "repro_kernel_seconds_" + key,
+        f"wall seconds per {key} dispatch",
+    ).observe(elapsed_s)
+
+
+
 @dataclass
 class KernelProfile(KernelCounters):
     """Kernel counters extended with measured wall time and bytes moved.
@@ -271,6 +313,8 @@ class _BackendBase:
             a.nbytes for a in arrays if isinstance(a, np.ndarray)
         )
         self.profile.record_timed(kind, n_patterns, elapsed, nbytes)
+        if _obs.ENABLED:
+            _observe_kernel(kind, self.name, n_patterns, t0, elapsed, nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -551,12 +595,22 @@ class BlockedBackend(_BackendBase):
                 elapsed = time.perf_counter() - t0
                 if j == 0:  # charge the shared table build to the group head
                     elapsed += table_s
+                nbytes = codes1.nbytes + codes2.nbytes + z.nbytes + sc.nbytes
                 self.profile.record_timed(
                     KernelKind.NEWVIEW_TIP_TIP,
                     codes1.shape[0],
                     elapsed,
-                    codes1.nbytes + codes2.nbytes + z.nbytes + sc.nbytes,
+                    nbytes,
                 )
+                if _obs.ENABLED:
+                    _observe_kernel(
+                        KernelKind.NEWVIEW_TIP_TIP,
+                        self.name,
+                        codes1.shape[0],
+                        t_table0 if j == 0 else t0,
+                        elapsed,
+                        nbytes,
+                    )
                 results[i] = (z, sc)
         return results
 

@@ -428,6 +428,23 @@ class LikelihoodEngine:
         self.backend.profile.reset()
         self.executor.stats.reset()
 
+    def reset_all_observability(self) -> None:
+        """One-call reset of every cumulative measurement layer.
+
+        Extends :meth:`reset_profile` (counters, backend profile, wave
+        stats) with the process-wide :mod:`repro.obs` metrics registry
+        and the live tracer's recorded spans/instants (when tracing is
+        enabled), so a benchmark or traced search can start every run
+        from a clean slate with a single call.
+        """
+        from ..obs import metrics as _obs_metrics
+        from ..obs import spans as _obs
+
+        self.reset_profile()
+        _obs_metrics.get_registry().reset()
+        if _obs.ENABLED:
+            _obs.get_tracer().clear()
+
     def drop_caches(self) -> None:
         """Release all CLAs (memory-saving hook; they rebuild lazily)."""
         self._clas.clear()

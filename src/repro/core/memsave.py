@@ -28,6 +28,8 @@ from itertools import count
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -37,6 +39,15 @@ from .engine import LikelihoodEngine
 from .traversal import NewviewOp
 
 __all__ = ["MemorySavingEngine"]
+
+
+def _note_recompute(node: int) -> None:
+    """Trace one eviction-caused CLA recomputation (obs must be enabled)."""
+    _obs.instant("cla_recompute", node=node)
+    _obs_metrics.get_registry().counter(
+        "repro_cla_recomputes_total",
+        "extra newview dispatches caused by CLA eviction",
+    ).inc()
 
 
 class MemorySavingEngine(LikelihoodEngine):
@@ -121,6 +132,8 @@ class MemorySavingEngine(LikelihoodEngine):
                     # computed before but its CLA slot has been recycled.
                     if op.node in self._computed_once and op.node not in self._clas:
                         self.recomputed_clas += 1
+                        if _obs.ENABLED:
+                            _note_recompute(op.node)
                 super()._run_ops(tuple(chunk), batch=batch)
             finally:
                 for node in pinned:
@@ -175,6 +188,8 @@ class MemorySavingEngine(LikelihoodEngine):
         op = self._make_op(node, up_edge)
         if node in self._computed_once and node not in self._clas:
             self.recomputed_clas += 1
+            if _obs.ENABLED:
+                _note_recompute(node)
         self._pin(node)
         try:
             self._materialize(op.child1, op.edge1)
@@ -210,6 +225,11 @@ class MemorySavingEngine(LikelihoodEngine):
             del self._clas[victim]
             self._valid.pop(victim, None)
             self._last_used.pop(victim, None)
+            if _obs.ENABLED:
+                _obs.instant("cla_evict", node=victim)
+                _obs_metrics.get_registry().counter(
+                    "repro_cla_evictions_total", "CLA slots recycled by LRU"
+                ).inc()
 
     def _root_sides(self, root_edge: int):
         edge = self.tree.edge(root_edge)

@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from .traversal import ExecutionPlan, KernelKind, NewviewOp, Wave
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -235,8 +237,9 @@ class PlanExecutor:
         self.stats.plans += 1
         self.stats.last_plan.clear()
         self.engine._prep_cache.clear()
-        for wave in plan.waves:
-            self.run_wave(wave)
+        with _obs.span("plan", waves=len(plan.waves), ops=plan.n_ops):
+            for wave in plan.waves:
+                self.run_wave(wave)
 
     def run_wave(self, wave: Wave) -> None:
         """Run one wave and record its :class:`WaveProfile`."""
@@ -263,6 +266,27 @@ class PlanExecutor:
                 batched=batched,
             )
         )
+        if _obs.ENABLED:
+            _obs.get_tracer().add_complete(
+                "wave",
+                t0,
+                t0 + elapsed,
+                args={
+                    "wave": wave.index,
+                    "width": wave.width,
+                    "batched": batched,
+                },
+            )
+            reg = _obs_metrics.get_registry()
+            reg.counter("repro_waves_total", "executed waves").inc()
+            reg.histogram(
+                "repro_wave_width",
+                "ops per executed wave",
+                bounds=_obs_metrics.log_buckets(1.0, 4096.0, per_decade=3),
+            ).observe(wave.width)
+            reg.histogram(
+                "repro_wave_seconds", "wall seconds per wave"
+            ).observe(elapsed)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,106 @@
+"""repro.obs — end-to-end tracing and metrics for the reproduction.
+
+Structured observability for every layer of the stack, built from three
+pieces:
+
+* :mod:`repro.obs.spans` — a low-overhead span tracer (context manager /
+  decorator / pre-measured fast path) with nestable spans and named
+  tracks for simulated threads and MPI ranks; **zero-cost when
+  disabled** (a module-level flag short-circuits every entry point
+  before any allocation);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  log-bucketed histograms with Prometheus-text and JSON export;
+* :mod:`repro.obs.export` / :mod:`repro.obs.summary` — exporters
+  (Chrome ``trace_event`` JSON loadable in Perfetto, plain-text
+  flamegraph) and the saved-trace validator/summariser behind the
+  ``repro trace`` CLI subcommand.
+
+Instrumentation is wired through kernel dispatch
+(:mod:`repro.core.backends`), wave execution
+(:mod:`repro.core.schedule`), CLA-slot recycling
+(:mod:`repro.core.memsave`), barrier/AllReduce accounting
+(:mod:`repro.parallel`), and search progress (:mod:`repro.search`).
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run a search, a placement, anything
+    obs.write_chrome(obs.get_tracer(), "out.json")  # open in Perfetto
+
+or from the shell::
+
+    repro search aln.phy --trace out.json && repro trace out.json
+"""
+
+from .export import flame_folded, flame_text, to_chrome, write_chrome
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_buckets,
+)
+from .spans import (
+    TRACE_ENV,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+    add_complete,
+    disable,
+    enable,
+    env_trace_path,
+    get_tracer,
+    instant,
+    is_enabled,
+    span,
+    traced,
+    track_scope,
+)
+from .summary import (
+    SpanAggregate,
+    TraceSummary,
+    load_chrome,
+    render_summary,
+    summarize_chrome,
+    validate_chrome,
+)
+
+__all__ = [
+    # spans
+    "TRACE_ENV",
+    "SpanRecord",
+    "InstantRecord",
+    "Tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "get_tracer",
+    "span",
+    "instant",
+    "add_complete",
+    "track_scope",
+    "traced",
+    "env_trace_path",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "log_buckets",
+    # export
+    "to_chrome",
+    "write_chrome",
+    "flame_folded",
+    "flame_text",
+    # summary
+    "SpanAggregate",
+    "TraceSummary",
+    "load_chrome",
+    "validate_chrome",
+    "summarize_chrome",
+    "render_summary",
+]

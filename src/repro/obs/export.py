@@ -1,0 +1,197 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and text flamegraphs.
+
+:func:`to_chrome` turns a :class:`~repro.obs.spans.Tracer`'s recorded
+span/instant records into the Chrome tracing JSON object format —
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+Each obs *track* becomes one thread lane (a ``thread_name`` metadata
+event names it); spans are emitted as matched ``B``/``E`` duration-event
+pairs produced by an interval stack sweep, so the output is well-nested
+per track and globally sorted by timestamp — the two properties the
+``repro trace`` validator (and tests) assert.
+
+:func:`flame_text` renders the same data as a collapsed-stack flamegraph
+summary (Brendan Gregg's ``folded`` format, one ``a;b;c weight`` line
+per unique stack, weights in microseconds of *self* time) plus a bar
+chart — the quick terminal answer to "where did the time go".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import get_registry
+from .spans import InstantRecord, SpanRecord, Tracer
+
+__all__ = [
+    "to_chrome",
+    "write_chrome",
+    "flame_folded",
+    "flame_text",
+]
+
+#: Synthetic process id for the single simulated process.
+PID = 1
+
+
+def _track_events(
+    spans: list[SpanRecord], instants: list[InstantRecord], tid: int
+) -> list[dict]:
+    """B/E/i events of one track via an interval stack sweep.
+
+    Spans are sorted by ``(start, -end, seq)`` so parents precede their
+    children; an explicit stack closes every span that ends before the
+    next one begins, which yields matched, properly nested ``B``/``E``
+    pairs with non-decreasing timestamps.  A child whose recorded end
+    strays past its parent's (impossible for context-manager spans,
+    conceivable for hand-fed intervals) is clamped to the parent.
+    """
+    events: list[dict] = []
+    stack: list[SpanRecord] = []  # open spans, outermost first
+
+    def emit(phase: str, name: str, ts: float, args: dict | None) -> None:
+        ev: dict = {
+            "ph": phase,
+            "name": name,
+            "pid": PID,
+            "tid": tid,
+            "ts": ts * 1e6,  # seconds -> microseconds
+            "cat": "repro",
+        }
+        if args:
+            ev["args"] = dict(args)
+        events.append(ev)
+
+    def close_until(t: float) -> None:
+        while stack and stack[-1].t_end <= t:
+            top = stack.pop()
+            end = top.t_end
+            if stack:  # clamp to the enclosing span
+                end = min(end, stack[-1].t_end)
+            emit("E", top.name, end, None)
+
+    ordered = sorted(spans, key=lambda s: (s.t_start, -s.t_end, s.seq))
+    pending = sorted(instants, key=lambda i: (i.ts, i.seq))
+    pi = 0
+    for rec in ordered:
+        close_until(rec.t_start)
+        while pi < len(pending) and pending[pi].ts <= rec.t_start:
+            emit("i", pending[pi].name, pending[pi].ts, pending[pi].args)
+            pi += 1
+        start = rec.t_start
+        if stack:  # clamp a straying child into its parent
+            start = min(max(start, stack[-1].t_start), stack[-1].t_end)
+        emit("B", rec.name, start, rec.args)
+        stack.append(rec)
+    close_until(float("inf"))
+    for rec in pending[pi:]:
+        emit("i", rec.name, rec.ts, rec.args)
+    return events
+
+
+def to_chrome(tracer: Tracer, include_metrics: bool = True) -> dict:
+    """Chrome tracing *JSON object format* payload for a tracer's records.
+
+    Timestamps are microseconds relative to the earliest recorded event.
+    When ``include_metrics`` is set, the current default metrics-registry
+    snapshot rides along under ``otherData.metrics`` so a saved trace
+    also carries the aggregate counters of the run that produced it.
+    """
+    all_records = [*tracer.spans, *tracer.instants]
+    origin = min(
+        (r.t_start if isinstance(r, SpanRecord) else r.ts for r in all_records),
+        default=tracer.created_at,
+    )
+    events: list[dict] = []
+    for tid, track in enumerate(tracer.tracks()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": tid,
+                "ts": 0.0,
+                "args": {"name": track},
+            }
+        )
+        track_spans = [s for s in tracer.spans if s.track == track]
+        track_instants = [i for i in tracer.instants if i.track == track]
+        events.extend(_track_events(track_spans, track_instants, tid))
+    # Rebase to the origin and sort globally (metadata events first).
+    meta = [e for e in events if e["ph"] == "M"]
+    timed = [e for e in events if e["ph"] != "M"]
+    for e in timed:
+        e["ts"] = round(e["ts"] - origin * 1e6, 3)
+    timed.sort(key=lambda e: e["ts"])  # stable: per-track order survives
+    payload: dict = {
+        "traceEvents": meta + timed,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "description": tracer.description,
+            "n_spans": len(tracer.spans),
+            "n_instants": len(tracer.instants),
+        },
+    }
+    if include_metrics:
+        payload["otherData"]["metrics"] = get_registry().snapshot()
+    return payload
+
+
+def write_chrome(tracer: Tracer, path: str | Path) -> Path:
+    """Serialise :func:`to_chrome` output to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome(tracer), indent=1))
+    return path
+
+
+def flame_folded(tracer: Tracer) -> dict[str, float]:
+    """Collapsed stacks -> *self*-time microseconds (folded format).
+
+    Keys are ``track;outer;inner`` stack strings; values are the stack's
+    own time with all child-span time subtracted, so the values sum to
+    the total traced span time per track.
+    """
+    out: dict[str, float] = {}
+    for track in tracer.tracks():
+        spans = sorted(
+            (s for s in tracer.spans if s.track == track),
+            key=lambda s: (s.t_start, -s.t_end, s.seq),
+        )
+        stack: list[SpanRecord] = []
+        child_time: list[float] = []  # per open span, time covered by children
+
+        def close_until(t: float) -> None:
+            while stack and stack[-1].t_end <= t:
+                top = stack.pop()
+                covered = child_time.pop()
+                key = ";".join([track, *[s.name for s in stack], top.name])
+                self_us = max(0.0, (top.duration - covered)) * 1e6
+                out[key] = out.get(key, 0.0) + self_us
+                if child_time:
+                    child_time[-1] += top.duration
+
+        for rec in spans:
+            close_until(rec.t_start)
+            stack.append(rec)
+            child_time.append(0.0)
+        close_until(float("inf"))
+    return out
+
+
+def flame_text(tracer: Tracer, width: int = 40, top: int = 25) -> str:
+    """Flamegraph-style text summary: top collapsed stacks with bars."""
+    folded = flame_folded(tracer)
+    if not folded:
+        return "(no spans recorded)\n"
+    total = sum(folded.values()) or 1.0
+    ranked = sorted(folded.items(), key=lambda kv: -kv[1])[:top]
+    longest = max(len(k) for k, _ in ranked)
+    lines = [f"{'stack':<{longest}}  {'self':>12}  share"]
+    for key, us in ranked:
+        bar = "#" * max(1, round(width * us / total))
+        lines.append(f"{key:<{longest}}  {us / 1e3:>10.3f}ms  {bar}")
+    lines.append(
+        f"{len(folded)} unique stacks, {total / 1e3:.3f} ms total self time"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,284 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+The tracer (:mod:`repro.obs.spans`) answers "*when* did time go where";
+this module answers "*how much*, in aggregate": how many kernels were
+dispatched, how wide the waves were, how many CLA slots were recycled,
+how many AllReduces of how many bytes were simulated.  Instrumented
+code updates metrics through the process-wide default registry
+(:func:`get_registry`), gated on the same enabled flag as the tracer so
+disabled runs pay nothing.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals,
+* :class:`Gauge` — last-written values,
+* :class:`Histogram` — distributions over **fixed log-scale buckets**
+  (geometric bucket bounds, e.g. half-decade steps), the right shape
+  for kernel durations spanning six orders of magnitude.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus` (text exposition
+format) and :meth:`MetricsRegistry.snapshot` (plain JSON-ready dict, as
+embedded in Chrome traces and printed by ``repro backends``/``repro
+plan`` when tracing is on).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "log_buckets",
+]
+
+
+def log_buckets(
+    lo: float = 1e-7, hi: float = 100.0, per_decade: int = 2
+) -> tuple[float, ...]:
+    """Geometric histogram bucket upper bounds from ``lo`` to >= ``hi``.
+
+    Bounds are ``lo * 10**(i / per_decade)`` — fixed log-scale steps, so
+    a value's bucket is a pure ``bisect`` with no dynamic resizing.  The
+    defaults (100 ns .. 100 s at half-decade resolution) cover every
+    duration this codebase measures.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    bounds = []
+    i = 0
+    while True:
+        b = lo * 10.0 ** (i / per_decade)
+        bounds.append(b)
+        if b >= hi:
+            return tuple(bounds)
+        i += 1
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the counter (registration survives)."""
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot entry."""
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        """Overwrite the gauge value."""
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (may be negative) to the gauge."""
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the gauge (registration survives)."""
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot entry."""
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Distribution over fixed log-scale buckets.
+
+    ``bucket_counts[i]`` counts observations ``v`` with
+    ``v <= bounds[i]`` and ``v > bounds[i-1]``; the final implicit
+    ``+Inf`` bucket (``overflow``) catches everything beyond the last
+    bound.  ``count``/``total``/``vmin``/``vmax`` summarise the raw
+    stream, so mean and range survive the bucketing.
+    """
+
+    name: str
+    help: str = ""
+    bounds: tuple[float, ...] = field(default_factory=log_buckets)
+    bucket_counts: list[int] = field(default_factory=list)
+    overflow: int = 0
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.bounds)
+        elif len(self.bucket_counts) != len(self.bounds):
+            raise ValueError("bucket_counts length mismatch")
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        i = bisect_left(self.bounds, v)
+        if i < len(self.bounds):
+            self.bucket_counts[i] += 1
+        else:
+            self.overflow += 1
+        self.count += 1
+        self.total += v
+        self.vmin = min(self.vmin, v)
+        self.vmax = max(self.vmax, v)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative counts per bound (plus +Inf last)."""
+        out = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        out.append(running + self.overflow)
+        return out
+
+    def reset(self) -> None:
+        """Zero every bucket and summary stat (bounds survive)."""
+        self.bucket_counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot entry."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments with get-or-create access.
+
+    Instrument accessors are idempotent: the first call registers, later
+    calls return the existing instrument (and raise ``TypeError`` if the
+    name is already bound to a different kind — silent type morphing is
+    how metric bugs hide).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help_: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        metric = cls(name=name, help=help_, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (default log buckets)."""
+        if bounds is None:
+            return self._get_or_create(Histogram, name, help)
+        return self._get_or_create(Histogram, name, help, bounds=bounds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready dump of every instrument, keyed by name."""
+        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: list[str] = []
+        for name, m in sorted(self._metrics.items()):
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            if isinstance(m, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {m.value:g}")
+            elif isinstance(m, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {m.value:g}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = m.cumulative()
+                for bound, c in zip(m.bounds, cumulative):
+                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {c}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{name}_sum {m.total:g}")
+                lines.append(f"{name}_count {m.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Zero every instrument's state; registrations survive."""
+        for m in self._metrics.values():
+            m.reset()
+
+    def clear(self) -> None:
+        """Forget every registered instrument."""
+        self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumented code writes to."""
+    return _REGISTRY

@@ -24,6 +24,8 @@ import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
@@ -131,9 +133,16 @@ class DistributedEngine:
         depth = max((p.depth for p in plans), default=0)
         for k in range(depth):
             self.wave_boundaries += 1
-            for engine, plan in zip(self.ranks, plans):
+            if _obs.ENABLED:
+                _obs.instant("wave_boundary", wave=k, ranks=len(self.ranks))
+                _obs_metrics.get_registry().counter(
+                    "repro_wave_boundaries_total",
+                    "lock-step wave boundaries across ranks",
+                ).inc()
+            for r, (engine, plan) in enumerate(zip(self.ranks, plans)):
                 if k < plan.depth:
-                    engine.executor.run_wave(plan.waves[k])
+                    with _obs.track_scope(f"rank-{r}"):
+                        engine.executor.run_wave(plan.waves[k])
 
     def log_likelihood(self, root_edge: int | None = None) -> float:
         """Partial per-rank lnL, combined by one scalar AllReduce."""
@@ -193,3 +202,19 @@ class DistributedEngine:
         for engine in self.ranks:
             total.merge(engine.wave_stats)
         return total
+
+    def reset_profile(self) -> None:
+        """Zero every rank's counters/stats and the shared profile."""
+        for engine in self.ranks:
+            engine.reset_profile()
+        self.wave_boundaries = 0
+        self.mpi.comm_seconds = 0.0
+        self.mpi.allreduce_calls = 0
+        self.mpi.bytes_reduced = 0.0
+
+    def reset_all_observability(self) -> None:
+        """Engine-wide reset plus the obs metrics registry and tracer."""
+        self.reset_profile()
+        _obs_metrics.get_registry().reset()
+        if _obs.ENABLED:
+            _obs.get_tracer().clear()

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+from ..obs import spans as _obs
 from ..perf.costmodel import CostModel
 from ..perf.platforms import PlatformSpec
 from ..perf.trace import KERNELS, KernelTrace
@@ -124,6 +125,7 @@ class ExaMLModel:
         mlp = 4.0 if self.platform.isa and self.platform.isa.name == "mic512" else 10.0
         return lines * latency_cycles / mlp / (self.platform.clock_ghz * 1e9)
 
+    @_obs.traced("examl.predict")
     def predict(self, trace: KernelTrace, n_sites: int) -> RunPrediction:
         """Predict a full tree-search run at alignment width ``n_sites``."""
         if n_sites <= 0:
@@ -168,6 +170,7 @@ class ExaMLModel:
             per_kernel_s=per_kernel,
         )
 
+    @_obs.traced("examl.predict_partitioned")
     def predict_partitioned(
         self, trace: KernelTrace, n_sites: int, n_partitions: int
     ) -> RunPrediction:

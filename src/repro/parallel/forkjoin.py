@@ -22,6 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from ..core.engine import LikelihoodEngine
 from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
@@ -79,7 +81,22 @@ class ForkJoinEngine:
     def _region(self) -> None:
         """Account one parallel region: two syncs (Sec. V-D)."""
         self.parallel_regions += 1
-        self.sync_seconds += self.sync_model.region_overhead_s(self.n_threads)
+        overhead = self.sync_model.region_overhead_s(self.n_threads)
+        self.sync_seconds += overhead
+        if _obs.ENABLED:
+            _obs.instant(
+                "forkjoin_region",
+                threads=self.n_threads,
+                modelled_us=overhead * 1e6,
+            )
+            reg = _obs_metrics.get_registry()
+            reg.counter(
+                "repro_forkjoin_regions_total",
+                "fork-join parallel regions (two barriers each)",
+            ).inc()
+            reg.counter(
+                "repro_barriers_total", "simulated rank barriers"
+            ).inc(2)
 
     def ensure_valid(self, root_edge: int) -> None:
         """Run the levelized plan with one parallel region per wave.
@@ -95,9 +112,10 @@ class ForkJoinEngine:
         depth = max((p.depth for p in plans), default=0)
         for k in range(depth):
             self._region()  # one region (two barriers) per wave
-            for worker, plan in zip(self.workers, plans):
+            for t, (worker, plan) in enumerate(zip(self.workers, plans)):
                 if k < plan.depth:
-                    worker.executor.run_wave(plan.waves[k])
+                    with _obs.track_scope(f"thread-{t}"):
+                        worker.executor.run_wave(plan.waves[k])
 
     # -- LikelihoodEngine-compatible surface ---------------------------
     @property
@@ -172,3 +190,17 @@ class ForkJoinEngine:
         for worker in self.workers:
             total.merge(worker.wave_stats)
         return total
+
+    def reset_profile(self) -> None:
+        """Zero every worker's counters/stats and the shared profile."""
+        for worker in self.workers:
+            worker.reset_profile()
+        self.sync_seconds = 0.0
+        self.parallel_regions = 0
+
+    def reset_all_observability(self) -> None:
+        """Engine-wide reset plus the obs metrics registry and tracer."""
+        self.reset_profile()
+        _obs_metrics.get_registry().reset()
+        if _obs.ENABLED:
+            _obs.get_tracer().clear()

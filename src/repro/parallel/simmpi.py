@@ -25,6 +25,9 @@ from math import ceil, log2
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
+
 __all__ = [
     "Interconnect",
     "SHARED_MEMORY",
@@ -137,11 +140,30 @@ class SimMPI:
         for a in arrays[1:]:
             if a.shape != arrays[0].shape:
                 raise ValueError("allreduce contributions differ in shape")
-        self.comm_seconds += allreduce_time(
+        dt = allreduce_time(
             self.n_ranks, n_bytes, self.interconnect, self.inter, self.ranks_per_group
         )
+        self.comm_seconds += dt
         self.allreduce_calls += 1
         self.bytes_reduced += n_bytes * self.n_ranks
+        if _obs.ENABLED:
+            _obs.instant(
+                "allreduce",
+                ranks=self.n_ranks,
+                bytes=int(n_bytes),
+                modelled_us=dt * 1e6,
+            )
+            reg = _obs_metrics.get_registry()
+            reg.counter(
+                "repro_allreduce_total", "simulated AllReduce collectives"
+            ).inc()
+            reg.counter(
+                "repro_allreduce_bytes", "bytes summed across ranks"
+            ).inc(n_bytes * self.n_ranks)
+            reg.counter(
+                "repro_allreduce_modelled_seconds",
+                "modelled AllReduce wall time",
+            ).inc(dt)
         return np.sum(arrays, axis=0)
 
     def barrier(self) -> None:
@@ -149,3 +171,8 @@ class SimMPI:
         self.comm_seconds += allreduce_time(
             self.n_ranks, 8, self.interconnect, self.inter, self.ranks_per_group
         )
+        if _obs.ENABLED:
+            _obs.instant("barrier", ranks=self.n_ranks)
+            _obs_metrics.get_registry().counter(
+                "repro_barriers_total", "simulated rank barriers"
+            ).inc()

@@ -32,6 +32,7 @@ from .trace import (
     KernelTrace,
     trace_from_profile,
     trace_from_search,
+    trace_from_spans,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "KernelTrace",
     "trace_from_profile",
     "trace_from_search",
+    "trace_from_spans",
 ]

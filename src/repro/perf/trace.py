@@ -25,6 +25,7 @@ __all__ = [
     "KernelTrace",
     "trace_from_search",
     "trace_from_profile",
+    "trace_from_spans",
     "DEFAULT_TRACE",
 ]
 
@@ -189,6 +190,112 @@ def trace_from_profile(
             if wave_stats is not None and wave_stats.waves
             else None
         ),
+    )
+
+
+def trace_from_spans(
+    source, n_taxa: int, traced_sites: int, description: str = ""
+) -> KernelTrace:
+    """Collapse a recorded span tree into a *measured* :class:`KernelTrace`.
+
+    The :mod:`repro.obs` bridge: any tracing session — a live
+    :class:`~repro.obs.spans.Tracer` or a saved Chrome-trace payload
+    (the dict :func:`repro.obs.summary.load_chrome` returns) — carries
+    one ``kernel.<kind>`` span per PLF dispatch, each tagged with the
+    bytes it moved.  Folding those spans yields the same four-kernel
+    call mix, measured wall seconds, and traffic that
+    :func:`trace_from_profile` reads from a
+    :class:`~repro.core.backends.KernelProfile`, so a trace recorded
+    yesterday feeds :func:`repro.perf.costmodel.measured_costs` exactly
+    like a live profile does.  Reductions follow the
+    :class:`~repro.core.traversal.KernelCounters` rule: one per
+    ``evaluate`` and per ``derivative_core`` dispatch.
+
+    The ``wave_summary`` is rebuilt from the recorded ``wave`` spans
+    (count, op totals, max/mean width, batched-op share, summed wall
+    seconds).
+
+    .. warning:: Record the source trace with the **reference** or
+       **blocked** backend.  The shadow backend dispatches every kernel
+       twice (primary + reference), so its span stream double-counts
+       calls relative to the engine's own counters.
+    """
+    # (kind value, duration seconds, bytes, width?, batched?) rows
+    kernel_rows: list[tuple[str, float, int]] = []
+    wave_rows: list[tuple[int, bool, float]] = []
+    if isinstance(source, dict):  # Chrome payload: matched B/E pairs
+        open_spans: dict[tuple, list] = {}
+        for e in source.get("traceEvents", ()):
+            ph, name = e.get("ph"), e.get("name", "")
+            key = (e.get("pid", 0), e.get("tid", 0))
+            if ph == "B":
+                open_spans.setdefault(key, []).append(e)
+            elif ph == "E":
+                stack = open_spans.get(key)
+                if not stack:
+                    continue
+                b = stack.pop()
+                dur_s = (float(e["ts"]) - float(b["ts"])) / 1e6
+                args = b.get("args") or {}
+                if name.startswith("kernel."):
+                    kernel_rows.append(
+                        (name[len("kernel."):], dur_s,
+                         int(args.get("bytes", 0)))
+                    )
+                elif name == "wave":
+                    wave_rows.append(
+                        (int(args.get("width", 0)),
+                         bool(args.get("batched", False)), dur_s)
+                    )
+    else:  # live Tracer
+        for rec in source.spans:
+            args = rec.args or {}
+            if rec.name.startswith("kernel."):
+                kernel_rows.append(
+                    (rec.name[len("kernel."):], rec.duration,
+                     int(args.get("bytes", 0)))
+                )
+            elif rec.name == "wave":
+                wave_rows.append(
+                    (int(args.get("width", 0)),
+                     bool(args.get("batched", False)), rec.duration)
+                )
+
+    calls = {k: 0 for k in KERNELS}
+    seconds = {k: 0.0 for k in KERNELS}
+    nbytes = {k: 0 for k in KERNELS}
+    reductions = 0
+    for kind, dur_s, b in kernel_rows:
+        key = "newview" if kind.startswith("newview") else kind
+        if key not in calls:
+            raise ValueError(f"unknown kernel span 'kernel.{kind}'")
+        calls[key] += 1
+        seconds[key] += dur_s
+        nbytes[key] += b
+        if key in ("evaluate", "derivative_core"):
+            reductions += 1
+    wave_summary = None
+    if wave_rows:
+        widths = [w for w, _, _ in wave_rows]
+        wave_summary = {
+            "plans": 0,  # plan membership is not span-visible
+            "waves": len(wave_rows),
+            "ops": sum(widths),
+            "max_width": max(widths),
+            "batched_ops": sum(w for w, batched, _ in wave_rows if batched),
+            "seconds": sum(s for _, _, s in wave_rows),
+            "bytes_moved": sum(nbytes.values()),
+            "kernel_mix": {},
+        }
+    return KernelTrace(
+        n_taxa=n_taxa,
+        traced_sites=traced_sites,
+        calls=calls,
+        reductions=reductions,
+        description=description or "rebuilt from recorded spans",
+        measured_seconds=seconds,
+        measured_bytes=nbytes,
+        wave_summary=wave_summary,
     )
 
 

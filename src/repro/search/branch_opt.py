@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.engine import LikelihoodEngine
+from ..obs import spans as _obs
 from ..phylo.tree import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
 
 __all__ = ["BranchOptResult", "optimize_branch", "optimize_all_branches"]
@@ -87,10 +88,11 @@ def optimize_branch(
 ) -> BranchOptResult:
     """Optimise one branch length in place on the engine's tree."""
     edge = engine.tree.edge(edge_id)
-    sumbuf = engine.edge_sum_buffer(edge_id)
-    t, iters, ok = _newton_on_sumbuffer(
-        engine, sumbuf, edge.length, tolerance, max_iterations
-    )
+    with _obs.span("search.branch_opt", edge=edge_id):
+        sumbuf = engine.edge_sum_buffer(edge_id)
+        t, iters, ok = _newton_on_sumbuffer(
+            engine, sumbuf, edge.length, tolerance, max_iterations
+        )
     result = BranchOptResult(
         edge=edge_id,
         initial_length=edge.length,
@@ -117,6 +119,19 @@ def optimize_all_branches(
     RAxML walks the tree during ``treeEvaluate``.
     """
     tree = engine.tree
+    with _obs.span("search.branch_smoothing", passes=passes):
+        return _smooth_all(
+            engine, tree, passes, tolerance, improvement_epsilon
+        )
+
+
+def _smooth_all(
+    engine: LikelihoodEngine,
+    tree,
+    passes: int,
+    tolerance: float,
+    improvement_epsilon: float,
+) -> float:
     lnl = engine.log_likelihood()
     for _ in range(passes):
         start = tree.leaves()[0]

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
+from ..obs import spans as _obs
 from ..core.traversal import KernelCounters
 from ..phylo.alignment import Alignment, PatternAlignment
 from ..phylo.models import SubstitutionModel, gtr
@@ -117,33 +118,49 @@ def ml_search(
 
     engine = make_engine(patterns, tree, model, gamma, backend=backend)
     trajectory: list[tuple[str, float]] = []
-    trajectory.append(("start", engine.log_likelihood()))
+    with _obs.span(
+        "search.ml_search",
+        taxa=patterns.n_taxa,
+        patterns=patterns.n_patterns,
+    ):
+        trajectory.append(("start", engine.log_likelihood()))
+        _obs.instant("search.progress", phase="start", lnl=trajectory[-1][1])
 
-    lnl = optimize_all_branches(engine, passes=2)
-    trajectory.append(("initial_branch_opt", lnl))
+        with _obs.span("search.initial_branch_opt"):
+            lnl = optimize_all_branches(engine, passes=2)
+        trajectory.append(("initial_branch_opt", lnl))
+        _obs.instant("search.progress", phase="initial_branch_opt", lnl=lnl)
 
-    mres = optimize_model(
-        engine,
-        max_rounds=config.model_rounds,
-        optimize_exchangeabilities=config.optimize_exchangeabilities,
-    )
-    trajectory.append(("model_opt", mres.lnl))
+        with _obs.span("search.model_opt"):
+            mres = optimize_model(
+                engine,
+                max_rounds=config.model_rounds,
+                optimize_exchangeabilities=config.optimize_exchangeabilities,
+            )
+        trajectory.append(("model_opt", mres.lnl))
+        _obs.instant("search.progress", phase="model_opt", lnl=mres.lnl)
 
-    history = spr_search(
-        engine,
-        radii=config.radii,
-        max_rounds=config.max_spr_rounds,
-        epsilon=config.spr_epsilon,
-    )
-    trajectory.append(("spr", engine.log_likelihood()))
+        with _obs.span("search.spr", radii=list(config.radii)):
+            history = spr_search(
+                engine,
+                radii=config.radii,
+                max_rounds=config.max_spr_rounds,
+                epsilon=config.spr_epsilon,
+            )
+            trajectory.append(("spr", engine.log_likelihood()))
+        _obs.instant("search.progress", phase="spr", lnl=trajectory[-1][1])
 
-    mres = optimize_model(
-        engine,
-        max_rounds=1,
-        optimize_exchangeabilities=config.optimize_exchangeabilities,
-    )
-    lnl = optimize_all_branches(engine, passes=config.final_branch_passes)
-    trajectory.append(("final", lnl))
+        with _obs.span("search.final_polish"):
+            mres = optimize_model(
+                engine,
+                max_rounds=1,
+                optimize_exchangeabilities=config.optimize_exchangeabilities,
+            )
+            lnl = optimize_all_branches(
+                engine, passes=config.final_branch_passes
+            )
+        trajectory.append(("final", lnl))
+        _obs.instant("search.progress", phase="final", lnl=lnl)
 
     return SearchResult(
         tree=tree,

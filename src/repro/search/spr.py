@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.engine import LikelihoodEngine
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from .branch_opt import optimize_all_branches, optimize_branch
 
 __all__ = ["SprRoundStats", "spr_round", "spr_search"]
@@ -60,8 +62,20 @@ def spr_round(
 
     A move is accepted immediately when its (lazily scored) likelihood
     beats the current best by ``epsilon``; after acceptance the three
-    branches created by the regraft are optimised properly.
+    branches created by the regraft are optimised properly.  When
+    tracing is enabled the round is recorded as one
+    ``search.spr_round`` span with per-acceptance instants.
     """
+    with _obs.span("search.spr_round", radius=radius):
+        return _spr_round_impl(engine, radius, epsilon, newton_iterations)
+
+
+def _spr_round_impl(
+    engine: LikelihoodEngine,
+    radius: int,
+    epsilon: float,
+    newton_iterations: int,
+) -> SprRoundStats:
     tree = engine.tree
     stats = SprRoundStats(lnl_before=engine.log_likelihood())
     current = stats.lnl_before
@@ -143,8 +157,19 @@ def spr_round(
             current = engine.log_likelihood()
             stats.moves_accepted += 1
             stats.accepted.append((sub, best_target))
+            if _obs.ENABLED:
+                _obs.instant(
+                    "search.spr_accept", radius=radius, lnl=current
+                )
+                _obs_metrics.get_registry().counter(
+                    "repro_spr_moves_accepted_total", "accepted SPR moves"
+                ).inc()
 
     stats.lnl_after = current
+    if _obs.ENABLED:
+        _obs_metrics.get_registry().counter(
+            "repro_spr_moves_tried_total", "trial SPR regrafts scored"
+        ).inc(stats.moves_tried)
     return stats
 
 
