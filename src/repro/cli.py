@@ -13,6 +13,9 @@ in practice — files in, files out:
 * ``repro kernels``   — per-kernel VM measurements (Figure 3 raw data)
 * ``repro predict``   — trace-driven runtime/energy prediction for one
                         platform and alignment size (Table III cells)
+* ``repro faults``    — run a search under a named fault-injection plan
+                        (crashes, flaky PCIe, dying ranks), auto-resume
+                        from checkpoints, and report survival
 * ``repro trace``     — validate + summarise a saved Chrome trace (top
                         spans by self time, per-kernel histograms, wave
                         timeline)
@@ -20,6 +23,11 @@ in practice — files in, files out:
 ``repro search`` and ``repro place`` accept ``--backend`` to pick the
 kernel implementation (reference / blocked / shadow); the
 ``REPRO_BACKEND`` environment variable sets the process-wide default.
+
+Tracing: ``repro search`` checkpoints crash-safely with ``--checkpoint ck.json``
+(rotated atomic snapshots) and restarts with ``--resume ck.json``; an
+injected or real mid-run death costs only the steps since the last
+snapshot.
 
 Tracing: ``repro search``/``repro place`` accept ``--trace out.json``
 to record a Chrome trace of the run (open it in Perfetto, or feed it to
@@ -98,6 +106,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--start", choices=["parsimony", "nj"],
                           default="parsimony",
                           help="starting-tree method")
+    p_search.add_argument(
+        "--checkpoint", type=Path, metavar="CK.json",
+        help="write crash-safe rotated snapshots to CK.json during the "
+             "search (atomic write, last --checkpoint-keep kept)",
+    )
+    p_search.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot period in driver steps (default 1; 0 disables "
+             "periodic writes, abort checkpoints still fire)",
+    )
+    p_search.add_argument(
+        "--checkpoint-keep", type=int, default=3, metavar="K",
+        help="rotation depth: keep the last K snapshots (default 3)",
+    )
+    p_search.add_argument(
+        "--resume", type=Path, metavar="CK.json",
+        help="resume from the newest loadable snapshot in this "
+             "checkpoint rotation instead of starting fresh",
+    )
+    p_search.add_argument(
+        "--fault-plan", metavar="NAME",
+        help="run under a named fault-injection plan "
+             "(see 'repro faults --list')",
+    )
+    p_search.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's RNG (default 0)",
+    )
     _add_backend_flag(p_search)
     _add_trace_flag(p_search)
 
@@ -142,6 +178,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="mic1",
     )
 
+    p_faults = sub.add_parser(
+        "faults",
+        help="run a search under a fault-injection plan and report survival",
+    )
+    p_faults.add_argument(
+        "alignment", type=Path, nargs="?", help="FASTA or PHYLIP file"
+    )
+    p_faults.add_argument(
+        "--plan", default="crash-midsearch", metavar="NAME",
+        help="named fault plan (default crash-midsearch; see --list)",
+    )
+    p_faults.add_argument(
+        "--list", action="store_true", help="list the named fault plans"
+    )
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="search + fault-plan seed")
+    p_faults.add_argument("--radius", type=int, nargs="+", default=[5, 10])
+    p_faults.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="restart budget after crashes/aborts (default 5)",
+    )
+    p_faults.add_argument(
+        "--checkpoint", type=Path, metavar="CK.json",
+        help="checkpoint rotation path (default: a temporary directory)",
+    )
+    p_faults.add_argument(
+        "--verify", action="store_true",
+        help="also run the search fault-free and check the survivor "
+             "reached the same topology and likelihood (1e-8)",
+    )
+    _add_backend_flag(p_faults)
+    _add_trace_flag(p_faults)
+
     p_trace = sub.add_parser(
         "trace", help="validate + summarise a saved Chrome trace"
     )
@@ -165,14 +234,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     write_phylip(sim.alignment, args.out)
     print(f"wrote {args.out} ({args.taxa} taxa x {args.sites} sites)")
     if args.tree_out:
-        args.tree_out.write_text(sim.tree.to_newick() + "\n")
+        from .util import atomic_write_text
+
+        atomic_write_text(args.tree_out, sim.tree.to_newick() + "\n")
         print(f"wrote {args.tree_out}")
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from .faults.plan import InjectedCrash
     from .phylo import read_alignment
-    from .search import SearchConfig, ml_search
+    from .search import SearchConfig, load_latest_checkpoint, ml_search
 
     alignment = read_alignment(args.alignment)
     print(
@@ -186,16 +258,54 @@ def _cmd_search(args: argparse.Namespace) -> int:
         d, taxa = jc_distance(alignment)
         starting_tree = neighbor_joining(d, taxa)
         print("starting tree: neighbor joining on JC distances")
-    result = ml_search(
-        alignment,
-        starting_tree=starting_tree,
-        config=SearchConfig(
-            radii=tuple(args.radius),
-            seed=args.seed,
-            optimize_exchangeabilities=not args.no_rates,
-        ),
-        backend=args.backend,
-    )
+
+    checkpoint_path = args.checkpoint
+    resume_from = None
+    if args.resume is not None:
+        resume_from, slot = load_latest_checkpoint(
+            args.resume, keep=args.checkpoint_keep
+        )
+        print(
+            f"resuming from {slot} "
+            f"(stage {resume_from.stage!r}, step {resume_from.step}"
+            + (
+                f", lnL {resume_from.lnl:.4f})"
+                if resume_from.lnl is not None
+                else ")"
+            )
+        )
+        if checkpoint_path is None:
+            checkpoint_path = args.resume  # keep snapshotting the same rotation
+
+    fault_plan = None
+    if args.fault_plan:
+        from .faults.plans import make_plan
+
+        fault_plan = make_plan(args.fault_plan, seed=args.fault_seed)
+        print(f"fault plan: {fault_plan!r}")
+
+    try:
+        result = ml_search(
+            alignment,
+            starting_tree=starting_tree,
+            config=SearchConfig(
+                radii=tuple(args.radius),
+                seed=args.seed,
+                optimize_exchangeabilities=not args.no_rates,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_keep=args.checkpoint_keep,
+            ),
+            backend=args.backend,
+            resume_from=resume_from,
+            fault_plan=fault_plan,
+        )
+    except InjectedCrash as crash:
+        print(f"search died: {crash}")
+        if checkpoint_path is not None:
+            print(f"resume with: repro search {args.alignment} "
+                  f"--resume {checkpoint_path}")
+        return 3
     print(f"final lnL: {result.lnl:.4f}")
     print(f"alpha:     {result.alpha:.4f}")
     print(
@@ -203,7 +313,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         + " ".join(f"{x:.4f}" for x in result.model.exchangeabilities)
     )
     if args.out:
-        args.out.write_text(result.newick + "\n")
+        from .util import atomic_write_text
+
+        atomic_write_text(args.out, result.newick + "\n")
         print(f"wrote {args.out}")
     else:
         print(result.newick)
@@ -233,7 +345,11 @@ def _cmd_place(args: argparse.Namespace) -> int:
             f"lnL {best.log_likelihood:.2f} LWR {best.weight_ratio:.3f}"
         )
     if args.out:
-        args.out.write_text(json.dumps(to_jplace(results, tree), indent=2))
+        from .util import atomic_write_text
+
+        atomic_write_text(
+            args.out, json.dumps(to_jplace(results, tree), indent=2)
+        )
         print(f"wrote {args.out}")
     return 0
 
@@ -410,6 +526,68 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.plans import available_plans, make_plan
+
+    if args.list:
+        plans = available_plans()
+        width = max(len(info.name) for info in plans)
+        for info in plans:
+            print(f"  {info.name:<{width}}  {info.description}")
+        return 0
+    if args.alignment is None:
+        print("error: an alignment file is required (or use --list)")
+        return 2
+
+    from .faults.runner import run_search_with_faults
+    from .phylo import read_alignment
+    from .search import SearchConfig
+
+    alignment = read_alignment(args.alignment)
+    print(
+        f"read {alignment.n_taxa} taxa x {alignment.n_sites} sites "
+        f"from {args.alignment}"
+    )
+    plan = make_plan(args.plan, seed=args.seed)
+    print(f"fault plan: {plan!r}")
+    report = run_search_with_faults(
+        alignment,
+        plan,
+        SearchConfig(
+            radii=tuple(args.radius),
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+        ),
+        backend=args.backend,
+        max_restarts=args.max_restarts,
+        verify=args.verify,
+    )
+    fired = ", ".join(
+        f"{k} x{v}" for k, v in sorted(report.fault_summary.items())
+    ) or "none"
+    print(f"faults fired:  {fired}")
+    print(f"crashes:       {report.crashes}  (aborts: {report.aborts})")
+    print(f"restarts:      {report.restarts} (budget {args.max_restarts})")
+    print(f"checkpoints:   {report.checkpoint_path}")
+    if report.survived:
+        print(f"survived:      yes  (final lnL {report.lnl:.4f})")
+    else:
+        print("survived:      NO — restart budget exhausted")
+        return 1
+    if args.verify:
+        print(
+            f"verify:        baseline lnL {report.baseline_lnl:.4f}, "
+            f"|delta| {report.lnl_delta:.3e}, "
+            f"topology {'match' if report.topology_match else 'MISMATCH'}"
+        )
+        if not report.verified:
+            print("verify:        FAILED — survivor diverged from baseline")
+            return 1
+        print("verify:        OK (same topology, lnL to 1e-8)")
+    _print_metrics_snapshot()
+    return 0
+
+
 def _cmd_kernels(_args: argparse.Namespace) -> int:
     from .harness.figure3 import render_figure3
 
@@ -462,6 +640,7 @@ _HANDLERS = {
     "plan": _cmd_plan,
     "kernels": _cmd_kernels,
     "predict": _cmd_predict,
+    "faults": _cmd_faults,
     "trace": _cmd_trace,
 }
 

@@ -139,9 +139,16 @@ def to_chrome(tracer: Tracer, include_metrics: bool = True) -> dict:
 
 
 def write_chrome(tracer: Tracer, path: str | Path) -> Path:
-    """Serialise :func:`to_chrome` output to ``path``; returns the path."""
+    """Serialise :func:`to_chrome` output to ``path``; returns the path.
+
+    The write is atomic (tmp + fsync + rename): trace export runs on
+    the way out of possibly-crashing CLI runs, and a half-written trace
+    is worse than the previous one.
+    """
+    from ..util import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps(to_chrome(tracer), indent=1))
+    atomic_write_text(path, json.dumps(to_chrome(tracer), indent=1))
     return path
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
+from ..faults.plan import RankFailure
 from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
 from ..core.schedule import WaveStats
@@ -55,6 +56,18 @@ class DistributedEngine:
     ExaML, where each process deterministically replays the identical
     sequence of topology/branch updates, so tree state never needs to be
     communicated.
+
+    Rank failure (injected via the :class:`SimMPI` fault plan) follows
+    ``on_rank_failure``:
+
+    * ``"degrade"`` (default) — the dead rank's pattern slice is
+      *adopted* by the lowest surviving rank (ExaML's restart story
+      compressed into one process: the survivor re-reads the alignment
+      slice and rebuilds the CLAs, which we charge as modelled recovery
+      time), the collective is retried among survivors, and the search
+      continues with identical numerics;
+    * ``"abort"`` — :class:`~repro.faults.RankFailure` propagates, so a
+      checkpoint-aware driver can snapshot-and-exit.
     """
 
     def __init__(
@@ -67,9 +80,17 @@ class DistributedEngine:
         mpi: SimMPI | None = None,
         distribution: SiteDistribution | None = None,
         backend: str | KernelBackend | None = None,
+        on_rank_failure: str = "degrade",
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
+        if on_rank_failure not in ("degrade", "abort"):
+            raise ValueError("on_rank_failure must be 'degrade' or 'abort'")
+        self.on_rank_failure = on_rank_failure
+        self.dead_ranks: set[int] = set()
+        self.adoptions: dict[int, int] = {}
+        self.rank_failures = 0
+        self.recovery_seconds = 0.0
         self.patterns = patterns
         self.tree = tree
         self.mpi = mpi if mpi is not None else SimMPI(n_ranks)
@@ -141,8 +162,80 @@ class DistributedEngine:
                 ).inc()
             for r, (engine, plan) in enumerate(zip(self.ranks, plans)):
                 if k < plan.depth:
-                    with _obs.track_scope(f"rank-{r}"):
+                    with _obs.track_scope(f"rank-{self.owner_of(r)}"):
                         engine.executor.run_wave(plan.waves[k])
+
+    # -- rank-failure recovery -----------------------------------------
+    def owner_of(self, rank: int) -> int:
+        """The rank currently computing ``rank``'s slice (adoption-aware)."""
+        return self.adoptions.get(rank, rank)
+
+    @property
+    def alive_ranks(self) -> list[int]:
+        """Ranks still alive, in index order."""
+        return [r for r in range(len(self.ranks)) if r not in self.dead_ranks]
+
+    def _handle_rank_failure(self, failure: RankFailure) -> None:
+        """Apply the ``on_rank_failure`` policy to one injected death."""
+        if self.on_rank_failure == "abort":
+            raise failure
+        rank = failure.rank
+        if rank in self.dead_ranks:  # repeated death of a ghost: no-op
+            return
+        survivors = [r for r in self.alive_ranks if r != rank]
+        if not survivors:
+            raise RankFailure(rank, "last surviving rank failed") from failure
+        adopter = survivors[0]
+        self.dead_ranks.add(rank)
+        self.adoptions[rank] = adopter
+        for ghost, owner in list(self.adoptions.items()):
+            if owner == rank:  # re-adopt slices the dead rank had adopted
+                self.adoptions[ghost] = adopter
+        self.rank_failures += 1
+        # Modelled recovery: survivors synchronise (one barrier) and the
+        # adopter re-reads + rebuilds the dead rank's slice — tip data
+        # over the interconnect, CLAs recomputed locally (not charged
+        # separately: the next traversal recomputes them anyway).
+        slice_patterns = int(self.distribution.indices_of(rank).shape[0])
+        slice_bytes = float(
+            slice_patterns * len(self.patterns.taxa) * self.patterns.data.itemsize
+        )
+        dt = (
+            self.mpi.interconnect.message_time(slice_bytes, len(survivors))
+            if slice_bytes
+            else 0.0
+        )
+        self.recovery_seconds += dt
+        self.mpi.comm_seconds += dt
+        self.mpi.barrier()
+        if _obs.ENABLED:
+            _obs.instant(
+                "rank.adopted",
+                dead=rank,
+                adopter=adopter,
+                survivors=len(survivors),
+                recovery_us=dt * 1e6,
+            )
+            _obs_metrics.get_registry().counter(
+                "repro_rank_failures_total",
+                "injected rank deaths absorbed by degradation",
+            ).inc()
+
+    def _allreduce(self, parts: list) -> np.ndarray:
+        """One AllReduce with rank-failure recovery (degrade policy).
+
+        A death during the collective is absorbed (slice adoption) and
+        the collective retried among survivors; numerics are unchanged
+        because slices are disjoint and the adopter replays the dead
+        rank's contribution.  Bounded to guard against pathological
+        always-fire plans.
+        """
+        for _ in range(2 * self.mpi.n_ranks + 1):
+            try:
+                return self.mpi.allreduce_sum(parts)
+            except RankFailure as failure:
+                self._handle_rank_failure(failure)
+        raise RankFailure(-1, "rank-death faults kept firing; giving up")
 
     def log_likelihood(self, root_edge: int | None = None) -> float:
         """Partial per-rank lnL, combined by one scalar AllReduce."""
@@ -150,7 +243,7 @@ class DistributedEngine:
             root_edge = self.default_edge()
         self.ensure_valid(root_edge)
         parts = [engine.log_likelihood(root_edge) for engine in self.ranks]
-        return float(self.mpi.allreduce_sum(parts)[0])
+        return float(self._allreduce(parts)[0])
 
     def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
         """Per-rank sum buffers (stay resident; never communicated)."""
@@ -164,7 +257,7 @@ class DistributedEngine:
             np.array(engine.branch_derivatives(sb, t))
             for engine, sb in zip(self.ranks, sumbufs)
         ]
-        total = self.mpi.allreduce_sum(parts)
+        total = self._allreduce(parts)
         return float(total[0]), float(total[1]), float(total[2])
 
     def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
@@ -211,6 +304,9 @@ class DistributedEngine:
         self.mpi.comm_seconds = 0.0
         self.mpi.allreduce_calls = 0
         self.mpi.bytes_reduced = 0.0
+        self.mpi.allreduce_retries = 0
+        self.mpi.seconds_in_faults = 0.0
+        self.recovery_seconds = 0.0
 
     def reset_all_observability(self) -> None:
         """Engine-wide reset plus the obs metrics registry and tracer."""

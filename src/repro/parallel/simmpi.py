@@ -25,6 +25,8 @@ from math import ceil, log2
 
 import numpy as np
 
+from ..faults.plan import AllReduceTimeout, FaultPlan, RankFailure
+from ..faults.retry import RetryPolicy
 from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
 
@@ -112,6 +114,17 @@ class SimMPI:
 
     ``interconnect`` prices flat collectives; pass ``inter`` +
     ``ranks_per_group`` for the hierarchical (multi-card) topology.
+
+    Fault injection: with a ``fault_plan``, every collective first
+    consults the plan.  An ``allreduce-timeout`` fault wastes the
+    collective's deadline (``timeout_s``) plus an exponential-backoff
+    delay, then the collective is *retried* — MPI small-message
+    collectives on a flaky PCIe link really do stall and re-poll this
+    way — up to ``retry.max_attempts`` tries before
+    :class:`~repro.faults.AllReduceTimeout` escapes to the caller.  A
+    ``rank-death`` fault raises :class:`~repro.faults.RankFailure`
+    naming the victim; recovery policy (degrade vs. abort) belongs to
+    the engine driving the collective, not the transport.
     """
 
     n_ranks: int
@@ -121,10 +134,50 @@ class SimMPI:
     comm_seconds: float = 0.0
     allreduce_calls: int = 0
     bytes_reduced: float = 0.0
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    retry_seed: int = 0
+    timeout_s: float = 500e-6
+    allreduce_retries: int = 0
+    seconds_in_faults: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
             raise ValueError("need at least one rank")
+        self._rng = np.random.default_rng(self.retry_seed)
+
+    def _inject_collective_faults(self) -> None:
+        """Consult the plan ahead of one collective; may raise/charge time."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        dead = plan.rank_death(self.n_ranks)
+        if dead is not None:
+            raise RankFailure(dead)
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if plan.consult("allreduce-timeout", call=self.allreduce_calls) is None:
+                return
+            self.seconds_in_faults += self.timeout_s
+            self.comm_seconds += self.timeout_s
+            if attempt >= self.retry.max_attempts:
+                raise AllReduceTimeout(
+                    f"allreduce {self.allreduce_calls} timed out "
+                    f"{attempt} times"
+                )
+            delay = self.retry.backoff_s(attempt, self._rng)
+            self.seconds_in_faults += delay
+            self.comm_seconds += delay
+            self.allreduce_retries += 1
+            if _obs.ENABLED:
+                _obs.instant(
+                    "allreduce.retry",
+                    attempt=attempt,
+                    backoff_us=delay * 1e6,
+                )
+                _obs_metrics.get_registry().counter(
+                    "repro_allreduce_retries_total",
+                    "AllReduce collectives retried after a timeout",
+                ).inc()
 
     def allreduce_sum(self, contributions: list[np.ndarray | float]) -> np.ndarray:
         """Sum per-rank contributions; charges the modelled time.
@@ -140,6 +193,7 @@ class SimMPI:
         for a in arrays[1:]:
             if a.shape != arrays[0].shape:
                 raise ValueError("allreduce contributions differ in shape")
+        self._inject_collective_faults()
         dt = allreduce_time(
             self.n_ranks, n_bytes, self.interconnect, self.inter, self.ranks_per_group
         )

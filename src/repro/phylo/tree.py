@@ -561,6 +561,54 @@ class Tree:
         t._next_edge = self._next_edge
         return t
 
+    def to_state(self) -> dict:
+        """Exact structural dump: ids, adjacency order, id counters.
+
+        Unlike Newick, this representation is *faithful*: node/edge ids,
+        per-node adjacency-list order, dict iteration order, and the id
+        counters all survive a round trip (JSON floats round-trip
+        exactly in Python).  A tree restored via :meth:`from_state` is
+        indistinguishable from the original to any traversal or
+        enumeration — the property crash-safe checkpoints need so a
+        resumed search replays the *identical* floating-point trajectory
+        of an uninterrupted one.
+        """
+        return {
+            "names": [[nid, name] for nid, name in self._names.items()],
+            "adj": [[nid, list(eids)] for nid, eids in self._adj.items()],
+            "edges": [
+                [e.id, e.u, e.v, e.length] for e in self._edges.values()
+            ],
+            "next_node": self._next_node,
+            "next_edge": self._next_edge,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Tree":
+        """Rebuild a tree from :meth:`to_state` output, exactly."""
+        try:
+            t = cls()
+            t._names = {int(nid): name for nid, name in state["names"]}
+            t._adj = {
+                int(nid): [int(e) for e in eids] for nid, eids in state["adj"]
+            }
+            t._edges = {
+                int(e[0]): Edge(int(e[0]), int(e[1]), int(e[2]), float(e[3]))
+                for e in state["edges"]
+            }
+            t._next_node = int(state["next_node"])
+            t._next_edge = int(state["next_edge"])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ValueError(f"malformed tree state: {exc}") from exc
+        for eid, edge in t._edges.items():
+            if edge.u not in t._adj or edge.v not in t._adj:
+                raise ValueError(
+                    f"tree state edge {eid} references unknown node"
+                )
+            if eid not in t._adj[edge.u] or eid not in t._adj[edge.v]:
+                raise ValueError(f"tree state adjacency missing edge {eid}")
+        return t
+
     def to_newick(self, precision: int = 6) -> str:
         """Serialise as unrooted Newick (trifurcation at an internal node)."""
         internals = self.internal_nodes()

@@ -8,7 +8,15 @@ feeds the performance model.
 
 from .bootstrap import BootstrapResult, bootstrap_analysis, bootstrap_weights, support_values
 from .branch_opt import BranchOptResult, optimize_all_branches, optimize_branch
-from .checkpoint import Checkpoint, load_checkpoint, resume_engine, save_checkpoint
+from .checkpoint import (
+    Checkpoint,
+    CheckpointWriter,
+    load_checkpoint,
+    load_latest_checkpoint,
+    resume_engine,
+    rotation_slots,
+    save_checkpoint,
+)
 from .epa import Placement, PlacementResult, place_queries, to_jplace
 from .model_opt import (
     ModelOptResult,
@@ -31,8 +39,11 @@ __all__ = [
     "optimize_all_branches",
     "optimize_branch",
     "Checkpoint",
+    "CheckpointWriter",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "resume_engine",
+    "rotation_slots",
     "save_checkpoint",
     "Placement",
     "PlacementResult",

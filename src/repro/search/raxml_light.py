@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
+from ..faults.plan import FaultError, FaultPlan, InjectedCrash
+from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
 from ..core.traversal import KernelCounters
 from ..phylo.alignment import Alignment, PatternAlignment
@@ -34,15 +37,34 @@ from ..phylo.parsimony import stepwise_addition_tree
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from .branch_opt import optimize_all_branches
+from .checkpoint import Checkpoint, CheckpointWriter, resume_engine
 from .model_opt import optimize_model
 from .spr import SprRoundStats, spr_search
 
-__all__ = ["SearchConfig", "SearchResult", "ml_search"]
+__all__ = ["SearchConfig", "SearchResult", "ml_search", "STAGE_ORDER"]
+
+#: Completion order of the driver's checkpointable stages.  A resumed
+#: search skips every stage whose rank is <= the checkpoint's.
+STAGE_ORDER = {
+    "start": 0,
+    "initial_branch_opt": 1,
+    "model_opt": 2,
+    "spr": 3,
+    "final": 4,
+}
 
 
 @dataclass
 class SearchConfig:
-    """Tuning knobs of the ML search (defaults mirror small RAxML runs)."""
+    """Tuning knobs of the ML search (defaults mirror small RAxML runs).
+
+    ``checkpoint_path`` enables periodic crash-safe snapshots (atomic
+    write + last-``checkpoint_keep`` rotation) every
+    ``checkpoint_every`` driver steps — a *step* is one completed
+    checkpointable unit: the initial evaluation, the initial branch
+    smoothing, model optimisation, each SPR round, and the final
+    polish.
+    """
 
     radii: tuple[int, ...] = (5, 10)
     max_spr_rounds: int = 10
@@ -51,6 +73,9 @@ class SearchConfig:
     optimize_exchangeabilities: bool = True
     final_branch_passes: int = 4
     seed: int = 0
+    checkpoint_path: str | Path | None = None
+    checkpoint_every: int = 1
+    checkpoint_keep: int = 3
 
 
 @dataclass
@@ -72,6 +97,58 @@ class SearchResult:
         return self.tree.to_newick()
 
 
+class _Progress:
+    """The driver's step clock: crash injection + periodic snapshots.
+
+    One ``tick`` per completed checkpointable unit.  Order matters: the
+    crash check precedes the write, so a step that "kills the process"
+    is *not* persisted — exactly what a real mid-run kill leaves behind
+    (the rotation holds the previous step's snapshot).
+    """
+
+    def __init__(
+        self,
+        engine,
+        writer: CheckpointWriter | None,
+        fault_plan: FaultPlan | None,
+        first_step: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.writer = writer
+        self.fault_plan = fault_plan
+        self.step = first_step
+        self.stage = "start"
+        self.lnl: float | None = None
+        self.spr_round = 0
+        self.spr_radius_idx = 0
+
+    def tick(
+        self, stage: str, lnl: float, spr_round: int = 0, spr_radius_idx: int = 0
+    ) -> None:
+        step = self.step
+        self.step += 1
+        self.stage, self.lnl = stage, lnl
+        self.spr_round, self.spr_radius_idx = spr_round, spr_radius_idx
+        if self.fault_plan is not None and self.fault_plan.crash_at_step(step):
+            raise InjectedCrash(step)
+        if self.writer is not None:
+            self.writer.maybe_write(
+                self.engine, lnl, stage, step, spr_round, spr_radius_idx
+            )
+
+    def emergency_write(self) -> None:
+        """Abort-with-checkpoint: persist the last completed state."""
+        if self.writer is not None:
+            self.writer.write(
+                self.engine,
+                self.lnl,
+                self.stage,
+                self.step - 1 if self.step else 0,
+                self.spr_round,
+                self.spr_radius_idx,
+            )
+
+
 def ml_search(
     alignment: Alignment | PatternAlignment,
     model: SubstitutionModel | None = None,
@@ -79,6 +156,8 @@ def ml_search(
     config: SearchConfig | None = None,
     starting_tree: Tree | None = None,
     backend: str | KernelBackend | None = None,
+    resume_from: Checkpoint | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SearchResult:
     """Run a complete maximum-likelihood tree search.
 
@@ -98,6 +177,23 @@ def ml_search(
     backend:
         Kernel backend name or instance driving the whole search (see
         :mod:`repro.core.backends`); ``None`` uses the process default.
+    resume_from:
+        A loaded :class:`Checkpoint` — the engine is rebuilt from it,
+        the restored ``lnl`` seeds the likelihood trajectory, completed
+        stages are *skipped* (per the checkpoint's ``stage``), and the
+        SPR schedule continues from the recorded round/radius position,
+        so resumption continues the run instead of repeating it.
+    fault_plan:
+        Active :class:`~repro.faults.FaultPlan`; the driver consults it
+        once per completed step (``crash-at-step``) and hands it to the
+        checkpoint writer (``crash-in-write``).
+
+    Crash safety: with ``config.checkpoint_path`` set, a rotated atomic
+    snapshot is written every ``checkpoint_every`` steps.  Any
+    :class:`~repro.faults.FaultError` *other than* an injected crash
+    (offload retry exhaustion, AllReduce timeout, unabsorbed rank
+    failure) triggers one final abort-checkpoint before propagating —
+    ExaML's "die loudly but restartably".
     """
     t_start = time.perf_counter()
     config = config or SearchConfig()
@@ -105,65 +201,151 @@ def ml_search(
         alignment if isinstance(alignment, PatternAlignment) else alignment.compress()
     )
     rng = np.random.default_rng(config.seed)
-    if model is None:
+    if model is None and resume_from is None:
         model = gtr(frequencies=empirical_frequencies(patterns))
     if gamma is None:
         gamma = GammaRates(alpha=1.0, n_categories=4)
 
-    tree = starting_tree.copy() if starting_tree is not None else stepwise_addition_tree(
-        patterns, rng
-    )
-    for edge in tree.edges:
-        edge.length = max(edge.length, 0.05)
+    writer = None
+    if config.checkpoint_path is not None:
+        writer = CheckpointWriter(
+            config.checkpoint_path,
+            every=config.checkpoint_every,
+            keep=config.checkpoint_keep,
+            fault_plan=fault_plan,
+        )
 
-    engine = make_engine(patterns, tree, model, gamma, backend=backend)
+    resume_rank = -1
+    spr_start_round = 0
+    spr_start_radius_idx = 0
+    if resume_from is not None:
+        engine = resume_engine(patterns, resume_from, backend=backend)
+        tree = engine.tree
+        stage = resume_from.stage or "start"
+        resume_rank = STAGE_ORDER.get(stage, 0)
+        if stage == "spr":
+            spr_start_round = resume_from.spr_round + 1
+            spr_start_radius_idx = resume_from.spr_radius_idx
+        elif resume_rank > STAGE_ORDER["spr"]:
+            spr_start_round = config.max_spr_rounds  # SPR already done
+        first_step = resume_from.step + 1
+    else:
+        tree = (
+            starting_tree.copy()
+            if starting_tree is not None
+            else stepwise_addition_tree(patterns, rng)
+        )
+        for edge in tree.edges:
+            edge.length = max(edge.length, 0.05)
+        engine = make_engine(patterns, tree, model, gamma, backend=backend)
+        first_step = 0
+
+    progress = _Progress(engine, writer, fault_plan, first_step=first_step)
     trajectory: list[tuple[str, float]] = []
+    history: list[SprRoundStats] = []
     with _obs.span(
         "search.ml_search",
         taxa=patterns.n_taxa,
         patterns=patterns.n_patterns,
+        resumed=resume_from is not None,
     ):
-        trajectory.append(("start", engine.log_likelihood()))
-        _obs.instant("search.progress", phase="start", lnl=trajectory[-1][1])
+        try:
+            if resume_from is not None:
+                lnl = (
+                    resume_from.lnl
+                    if resume_from.lnl is not None
+                    else engine.log_likelihood()
+                )
+                trajectory.append((f"resume:{resume_from.stage}", lnl))
+                progress.stage, progress.lnl = resume_from.stage, lnl
+                progress.spr_round = resume_from.spr_round
+                progress.spr_radius_idx = resume_from.spr_radius_idx
+                _obs.instant(
+                    "search.resume",
+                    stage=resume_from.stage,
+                    step=resume_from.step,
+                    lnl=lnl,
+                )
+                if _obs.ENABLED:
+                    _obs_metrics.get_registry().counter(
+                        "repro_search_resumes_total",
+                        "searches resumed from a checkpoint",
+                    ).inc()
+            else:
+                lnl = engine.log_likelihood()
+                trajectory.append(("start", lnl))
+                _obs.instant("search.progress", phase="start", lnl=lnl)
+                progress.tick("start", lnl)
 
-        with _obs.span("search.initial_branch_opt"):
-            lnl = optimize_all_branches(engine, passes=2)
-        trajectory.append(("initial_branch_opt", lnl))
-        _obs.instant("search.progress", phase="initial_branch_opt", lnl=lnl)
+            if resume_rank < STAGE_ORDER["initial_branch_opt"]:
+                with _obs.span("search.initial_branch_opt"):
+                    lnl = optimize_all_branches(engine, passes=2)
+                trajectory.append(("initial_branch_opt", lnl))
+                _obs.instant(
+                    "search.progress", phase="initial_branch_opt", lnl=lnl
+                )
+                progress.tick("initial_branch_opt", lnl)
 
-        with _obs.span("search.model_opt"):
-            mres = optimize_model(
-                engine,
-                max_rounds=config.model_rounds,
-                optimize_exchangeabilities=config.optimize_exchangeabilities,
-            )
-        trajectory.append(("model_opt", mres.lnl))
-        _obs.instant("search.progress", phase="model_opt", lnl=mres.lnl)
+            if resume_rank < STAGE_ORDER["model_opt"]:
+                with _obs.span("search.model_opt"):
+                    mres = optimize_model(
+                        engine,
+                        max_rounds=config.model_rounds,
+                        optimize_exchangeabilities=config.optimize_exchangeabilities,
+                    )
+                trajectory.append(("model_opt", mres.lnl))
+                _obs.instant("search.progress", phase="model_opt", lnl=mres.lnl)
+                progress.tick("model_opt", mres.lnl)
 
-        with _obs.span("search.spr", radii=list(config.radii)):
-            history = spr_search(
-                engine,
-                radii=config.radii,
-                max_rounds=config.max_spr_rounds,
-                epsilon=config.spr_epsilon,
-            )
-            trajectory.append(("spr", engine.log_likelihood()))
-        _obs.instant("search.progress", phase="spr", lnl=trajectory[-1][1])
+            if spr_start_round < config.max_spr_rounds:
+                def on_round(round_index, next_radius_idx, stats):
+                    progress.tick(
+                        "spr",
+                        stats.lnl_after,
+                        spr_round=round_index,
+                        spr_radius_idx=next_radius_idx,
+                    )
 
-        with _obs.span("search.final_polish"):
-            mres = optimize_model(
-                engine,
-                max_rounds=1,
-                optimize_exchangeabilities=config.optimize_exchangeabilities,
-            )
-            lnl = optimize_all_branches(
-                engine, passes=config.final_branch_passes
-            )
-        trajectory.append(("final", lnl))
-        _obs.instant("search.progress", phase="final", lnl=lnl)
+                with _obs.span("search.spr", radii=list(config.radii)):
+                    history = spr_search(
+                        engine,
+                        radii=config.radii,
+                        max_rounds=config.max_spr_rounds,
+                        epsilon=config.spr_epsilon,
+                        start_round=spr_start_round,
+                        start_radius_idx=spr_start_radius_idx,
+                        on_round=on_round,
+                    )
+                    trajectory.append(("spr", engine.log_likelihood()))
+                _obs.instant("search.progress", phase="spr", lnl=trajectory[-1][1])
+
+            if resume_rank < STAGE_ORDER["final"]:
+                with _obs.span("search.final_polish"):
+                    mres = optimize_model(
+                        engine,
+                        max_rounds=1,
+                        optimize_exchangeabilities=config.optimize_exchangeabilities,
+                    )
+                    lnl = optimize_all_branches(
+                        engine, passes=config.final_branch_passes
+                    )
+                trajectory.append(("final", lnl))
+                _obs.instant("search.progress", phase="final", lnl=lnl)
+                progress.tick("final", lnl)
+            else:
+                lnl = engine.log_likelihood()
+        except InjectedCrash:
+            # The simulated process is dead: no write (the rotation
+            # already holds the last periodic snapshot), just propagate.
+            raise
+        except FaultError:
+            # Unrecoverable-but-anticipated fault: abort with a final
+            # checkpoint so the run is restartable, then propagate.
+            progress.emergency_write()
+            raise
 
     return SearchResult(
-        tree=tree,
+        tree=engine.tree,
         lnl=lnl,
         model=engine.model,
         alpha=engine.rates_model.alpha,

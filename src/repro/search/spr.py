@@ -179,6 +179,9 @@ def spr_search(
     max_rounds: int = 10,
     epsilon: float = 0.01,
     smooth_passes: int = 2,
+    start_round: int = 0,
+    start_radius_idx: int = 0,
+    on_round=None,
 ) -> list[SprRoundStats]:
     """Iterated SPR rounds with an escalating radius schedule.
 
@@ -187,16 +190,30 @@ def spr_search(
     largest radius also yields none — RAxML-Light's hill-climbing
     schedule in miniature.  Each productive round is followed by
     branch-length smoothing.
+
+    Restartability: ``start_round``/``start_radius_idx`` continue the
+    schedule from a checkpointed position (a resumed search must not
+    re-descend the radius ladder), and ``on_round(round_index,
+    next_radius_idx, stats)`` — called after each round's smoothing,
+    with the radius index the *next* round will use — is the seam the
+    checkpointing driver snapshots through (it may raise
+    :class:`~repro.faults.InjectedCrash` to simulate a mid-search kill).
     """
     history: list[SprRoundStats] = []
-    radius_idx = 0
-    for _ in range(max_rounds):
+    radius_idx = start_radius_idx
+    for round_index in range(start_round, max_rounds):
+        if radius_idx >= len(radii):
+            break
         stats = spr_round(engine, radii[radius_idx], epsilon=epsilon)
         history.append(stats)
+        done = False
         if stats.moves_accepted == 0:
             radius_idx += 1
-            if radius_idx >= len(radii):
-                break
+            done = radius_idx >= len(radii)
         else:
             optimize_all_branches(engine, passes=smooth_passes)
+        if on_round is not None:
+            on_round(round_index, radius_idx, stats)
+        if done:
+            break
     return history

@@ -1,0 +1,94 @@
+"""Shared small utilities: crash-safe file writes.
+
+The reproduction's durability story (checkpoints, tree/jplace outputs,
+Chrome traces) hinges on one primitive: a text write that either fully
+lands or leaves the previous file intact.  A bare ``Path.write_text``
+gives neither guarantee — a crash mid-write truncates the file, and a
+crash between ``open`` and ``close`` can leave a half-flushed snapshot
+that ``json.loads`` chokes on (exactly the ExaML failure mode binary
+checkpoints guard against on multi-day runs).
+
+:func:`atomic_write_text` is the POSIX idiom: write the payload to a
+temporary file *in the same directory* (same filesystem, so the final
+rename cannot degrade to a copy), flush + ``fsync`` the data to disk,
+then ``os.replace`` — an atomic rename that swaps the new content in as
+a single metadata operation.  Readers observe either the old file or
+the new one, never a mix; a crash at any instant leaves one of the two
+complete versions on disk (plus, at worst, an orphaned ``*.tmp.*`` file
+that the next successful write of the same target cleans up).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["atomic_write_text", "cleanup_orphan_tmp"]
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    pre_replace_hook: Callable[[Path], None] | None = None,
+) -> Path:
+    """Crash-safely write ``text`` to ``path``; returns the path.
+
+    The payload goes to a ``NamedTemporaryFile`` in ``path``'s directory,
+    is flushed and fsync'ed, and is moved over ``path`` with
+    ``os.replace``.  On any failure the temporary file is removed and the
+    previous content of ``path`` (if any) is untouched.
+
+    ``pre_replace_hook`` is called with the temporary path after the
+    fsync but *before* the atomic rename — the seam the fault-injection
+    tests use to simulate a process killed mid-write (the hook raises,
+    the rename never happens, the old snapshot survives).
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if pre_replace_hook is not None:
+            pre_replace_hook(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    cleanup_orphan_tmp(path)
+    return path
+
+
+def cleanup_orphan_tmp(path: str | Path) -> int:
+    """Remove stale ``<name>.*.tmp`` files left by crashed writers.
+
+    Returns the number of orphans removed.  Called automatically after
+    every successful :func:`atomic_write_text`, and usable directly when
+    scanning a checkpoint directory on resume.
+    """
+    path = Path(path)
+    removed = 0
+    try:
+        entries = list(path.parent.iterdir())
+    except OSError:
+        return 0
+    for entry in entries:
+        name = entry.name
+        if (
+            name.startswith(path.name + ".")
+            and name.endswith(".tmp")
+            and entry != path
+        ):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleaner
+                pass
+    return removed

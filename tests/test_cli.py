@@ -144,3 +144,71 @@ class TestKernels:
         rc = main(["kernels"])
         assert rc == 0
         assert "derivative_sum" in capsys.readouterr().out
+
+
+class TestCheckpointFlags:
+    def test_crash_resume_roundtrip(self, io_case, tmp_path, capsys):
+        """The acceptance path: search dies at an injected crash step,
+        resumes from its checkpoint, and matches an uninterrupted run."""
+        _, sim, aln_path, *_ = io_case
+        ck = tmp_path / "ck.json"
+        base_out = tmp_path / "base.nwk"
+        rc = main([
+            "search", str(aln_path), "--radius", "3", "--seed", "9",
+            "--out", str(base_out),
+        ])
+        assert rc == 0
+        base_lnl = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "final lnL" in line
+        ][0]
+
+        rc = main([
+            "search", str(aln_path), "--radius", "3", "--seed", "9",
+            "--checkpoint", str(ck), "--checkpoint-every", "1",
+            "--fault-plan", "crash-midsearch", "--fault-seed", "9",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 3  # the injected-crash exit code
+        assert "search died" in out and "--resume" in out
+        assert ck.exists()
+
+        resumed_out = tmp_path / "resumed.nwk"
+        rc = main([
+            "search", str(aln_path), "--radius", "3", "--seed", "9",
+            "--resume", str(ck), "--out", str(resumed_out),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resuming from" in out
+        resumed_lnl = [
+            line for line in out.splitlines() if "final lnL" in line
+        ][0]
+        assert resumed_lnl == base_lnl
+        assert resumed_out.read_text() == base_out.read_text()
+
+
+class TestFaultsCommand:
+    def test_list_plans(self, capsys):
+        rc = main(["faults", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash-midsearch" in out and "flaky-pcie" in out
+
+    def test_requires_alignment(self, capsys):
+        rc = main(["faults"])
+        assert rc == 2
+        assert "alignment" in capsys.readouterr().out
+
+    def test_survival_run_with_verify(self, io_case, tmp_path, capsys):
+        _, _, aln_path, *_ = io_case
+        rc = main([
+            "faults", str(aln_path), "--plan", "crash-midsearch",
+            "--seed", "9", "--radius", "3",
+            "--checkpoint", str(tmp_path / "ck.json"), "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "survived:      yes" in out
+        assert "verify:        OK" in out
+        assert "crash-at-step x1" in out
