@@ -62,6 +62,41 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` / ``--exec`` options."""
+    from .parallel.forkjoin import (
+        EXEC_ENV,
+        EXECUTION_MODES,
+        WORKERS_ENV,
+        default_execution,
+        default_workers,
+    )
+
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        metavar="N",
+        help=(
+            "parallel site-slice workers; N>1 runs every likelihood "
+            "evaluation on a fork-join engine with bit-identical results "
+            "(default: $" + WORKERS_ENV + " or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--exec",
+        dest="execution",
+        choices=list(EXECUTION_MODES),
+        default=default_execution(),
+        help=(
+            "parallel execution substrate: 'simulated' (modelled barriers), "
+            "'threads' (in-process pool), 'processes' (spawn-once worker "
+            "pool over a shared-memory arena) "
+            "(default: $" + EXEC_ENV + " or 'simulated')"
+        ),
+    )
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--trace`` option to a subcommand parser."""
     from .obs.spans import TRACE_ENV
@@ -135,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault plan's RNG (default 0)",
     )
     _add_backend_flag(p_search)
+    _add_parallel_flags(p_search)
     _add_trace_flag(p_search)
 
     p_stats = sub.add_parser("stats", help="alignment summary statistics")
@@ -150,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--out", type=Path, help="jplace output")
     p_place.add_argument("--best", type=int, default=5)
     _add_backend_flag(p_place)
+    _add_parallel_flags(p_place)
     _add_trace_flag(p_place)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
@@ -284,6 +321,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         fault_plan = make_plan(args.fault_plan, seed=args.fault_seed)
         print(f"fault plan: {fault_plan!r}")
 
+    if args.workers > 1:
+        print(f"parallel: {args.workers} workers, execution={args.execution}")
+
     try:
         result = ml_search(
             alignment,
@@ -299,6 +339,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             backend=args.backend,
             resume_from=resume_from,
             fault_plan=fault_plan,
+            workers=args.workers,
+            execution=args.execution,
         )
     except InjectedCrash as crash:
         print(f"search died: {crash}")
@@ -323,6 +365,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from .phylo.draw import ascii_tree
 
         print(ascii_tree(result.tree))
+    if args.workers > 1:
+        stats = getattr(result.engine, "barrier_stats", None)
+        if stats is not None and stats.regions:
+            print(
+                f"parallel regions: {stats.regions} "
+                f"(mean overhead {stats.mean_region_overhead_s * 1e6:.1f} us)"
+            )
+        close = getattr(result.engine, "close", None)
+        if callable(close):
+            close()
     return 0
 
 
@@ -334,9 +386,12 @@ def _cmd_place(args: argparse.Namespace) -> int:
     tree = Tree.from_newick(args.tree.read_text())
     query_aln = read_fasta(args.queries)
     queries = {t: query_aln.sequence(t) for t in query_aln.taxa}
+    if args.workers > 1:
+        print(f"parallel: {args.workers} workers, execution={args.execution}")
     results = place_queries(
         reference, tree, queries, gtr(), GammaRates(1.0, 4),
         keep_best=args.best, backend=args.backend,
+        workers=args.workers, execution=args.execution,
     )
     for result in results:
         best = result.best
@@ -435,6 +490,25 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
             print(f"  {'':<{width}}  {first}")
     print(f"\n(* = process default; override with ${DEFAULT_BACKEND_ENV} "
           "or --backend)")
+
+    from .parallel.forkjoin import (
+        EXEC_ENV,
+        EXECUTION_MODES,
+        WORKERS_ENV,
+        default_execution,
+        default_workers,
+    )
+
+    w_env = os.environ.get(WORKERS_ENV)
+    x_env = os.environ.get(EXEC_ENV)
+    w_src = f"${WORKERS_ENV}" if w_env is not None else "built-in default"
+    x_src = f"${EXEC_ENV}" if x_env is not None else "built-in default"
+    print("\nparallel execution:")
+    print(f"  workers: {default_workers()}  (from {w_src})")
+    print(f"  exec:    {default_execution()}  (from {x_src})")
+    print(f"  modes:   {', '.join(EXECUTION_MODES)}")
+    print(f"  (override with ${WORKERS_ENV}/${EXEC_ENV} or --workers/--exec "
+          "on 'repro search' and 'repro place')")
     _print_metrics_snapshot()
     return 0
 

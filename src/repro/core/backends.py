@@ -166,6 +166,47 @@ class KernelProfile(KernelCounters):
         self.seconds.clear()
         self.bytes_moved.clear()
 
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate another profile's totals into this one (in place).
+
+        Accepts a plain :class:`KernelCounters` too (seconds/bytes are
+        then left untouched).  Callers aggregating across workers must
+        dedupe *shared* backend instances by identity first — merging the
+        same backend's profile once per worker would multiply every
+        dispatch by the worker count (the double-counting bug fixed in
+        the parallel-execution PR).
+        """
+        super().merge(other)
+        if isinstance(other, KernelProfile):
+            for kind, s in other.seconds.items():
+                self.seconds[kind] = self.seconds.get(kind, 0.0) + s
+            for kind, b in other.bytes_moved.items():
+                self.bytes_moved[kind] = self.bytes_moved.get(kind, 0) + b
+
+    def to_dict(self) -> dict:
+        """Picklable plain-dict form (for cross-process profile reports)."""
+        return {
+            "calls": {k.value: v for k, v in self.calls.items()},
+            "site_units": {k.value: v for k, v in self.site_units.items()},
+            "reductions": self.reductions,
+            "seconds": {k.value: v for k, v in self.seconds.items()},
+            "bytes_moved": {k.value: v for k, v in self.bytes_moved.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "KernelProfile":
+        p = cls()
+        p.calls = {KernelKind(k): int(v) for k, v in d.get("calls", {}).items()}
+        p.site_units = {
+            KernelKind(k): int(v) for k, v in d.get("site_units", {}).items()
+        }
+        p.reductions = int(d.get("reductions", 0))
+        p.seconds = {KernelKind(k): float(v) for k, v in d.get("seconds", {}).items()}
+        p.bytes_moved = {
+            KernelKind(k): int(v) for k, v in d.get("bytes_moved", {}).items()
+        }
+        return p
+
     # -- aggregation to the paper's four kernel names ------------------
     def merged_seconds(self) -> dict[str, float]:
         """Wall seconds aggregated to the paper's four kernels."""
@@ -397,6 +438,22 @@ class ReferenceBackend(_BackendBase):
         )
         self._finish(
             KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0, sumbuf, pattern_weights
+        )
+        return out
+
+    def derivative_site_terms(self, sumbuf, eigenvalues, rates, rate_weights, t):
+        """Site phase of ``derivativeCore`` (per-pattern ``l, l', l''``).
+
+        Used by parallel engines: workers compute their slice's terms,
+        the master gathers and reduces (:func:`kernels.derivative_reduce`)
+        in a fixed order, so results match sequential bit-for-bit.
+        """
+        t0 = time.perf_counter()
+        out = kernels.derivative_site_terms(
+            sumbuf, eigenvalues, rates, rate_weights, t
+        )
+        self._finish(
+            KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0, sumbuf, *out
         )
         return out
 
@@ -696,44 +753,47 @@ class BlockedBackend(_BackendBase):
         )
         return out
 
+    def _site_terms(self, sumbuf, eigenvalues, rates, rate_weights, t):
+        """Chunked per-pattern ``(l, l', l'')`` (same association as reference)."""
+        p = sumbuf.shape[0]
+        if p <= self.block_sites:
+            return kernels.derivative_site_terms(
+                sumbuf, eigenvalues, rates, rate_weights, t
+            )
+        g = np.multiply.outer(
+            np.asarray(rates, dtype=np.float64), eigenvalues
+        )  # (c, k)
+        e = np.exp(g * t)
+        wc = rate_weights[:, None]
+        m0 = wc * e
+        m1 = m0 * g
+        m2 = m1 * g
+        l0 = np.empty(p)
+        l1 = np.empty(p)
+        l2 = np.empty(p)
+        for start, stop in self._chunks(p):
+            chunk = sumbuf[start:stop]
+            np.einsum("pck,ck->p", chunk, m0, out=l0[start:stop])
+            np.einsum("pck,ck->p", chunk, m1, out=l1[start:stop])
+            np.einsum("pck,ck->p", chunk, m2, out=l2[start:stop])
+        return l0, l1, l2
+
+    def derivative_site_terms(self, sumbuf, eigenvalues, rates, rate_weights, t):
+        """Site phase of ``derivativeCore`` (see the reference backend)."""
+        t0 = time.perf_counter()
+        out = self._site_terms(sumbuf, eigenvalues, rates, rate_weights, t)
+        self._finish(
+            KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0, sumbuf, *out
+        )
+        return out
+
     def derivative_core(
         self, sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
     ):
         t0 = time.perf_counter()
         p = sumbuf.shape[0]
-        if p <= self.block_sites:
-            out = kernels.derivative_core(
-                sumbuf, eigenvalues, rates, rate_weights, t, pattern_weights
-            )
-        else:
-            g = np.multiply.outer(
-                np.asarray(rates, dtype=np.float64), eigenvalues
-            )  # (c, k)
-            e = np.exp(g * t)
-            wc = rate_weights[:, None]
-            m0 = wc * e
-            m1 = m0 * g
-            m2 = m1 * g
-            l0 = np.empty(p)
-            l1 = np.empty(p)
-            l2 = np.empty(p)
-            for start, stop in self._chunks(p):
-                chunk = sumbuf[start:stop]
-                np.einsum("pck,ck->p", chunk, m0, out=l0[start:stop])
-                np.einsum("pck,ck->p", chunk, m1, out=l1[start:stop])
-                np.einsum("pck,ck->p", chunk, m2, out=l2[start:stop])
-            if np.any(l0 <= 0.0):
-                bad = int(np.argmin(l0))
-                raise FloatingPointError(
-                    f"non-positive site likelihood {l0[bad]:g} at pattern "
-                    f"{bad} during branch-length derivative evaluation"
-                )
-            r1 = l1 / l0
-            out = (
-                float(np.dot(np.log(l0), pattern_weights)),
-                float(np.dot(r1, pattern_weights)),
-                float(np.dot(l2 / l0 - r1 * r1, pattern_weights)),
-            )
+        l0, l1, l2 = self._site_terms(sumbuf, eigenvalues, rates, rate_weights, t)
+        out = kernels.derivative_reduce(l0, l1, l2, pattern_weights)
         self._finish(
             KernelKind.DERIVATIVE_CORE, p, t0, sumbuf, pattern_weights
         )
@@ -897,6 +957,20 @@ class ShadowBackend(_BackendBase):
         self._finish(KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0)
         return dp
 
+    def derivative_site_terms(self, sumbuf, eigenvalues, rates, rate_weights, t):
+        t0 = time.perf_counter()
+        tp = self.primary.derivative_site_terms(
+            sumbuf, eigenvalues, rates, rate_weights, t
+        )
+        tr = self.reference.derivative_site_terms(
+            sumbuf, eigenvalues, rates, rate_weights, t
+        )
+        for name, ap, ar in zip(("l0", "l1", "l2"), tp, tr):
+            self._check_arrays("derivative_site_terms", ap, ar, name)
+        self.checks += 1
+        self._finish(KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0)
+        return tp
+
 
 # ----------------------------------------------------------------------
 # registry
@@ -971,13 +1045,23 @@ def make_engine(
     max_resident: int | None = None,
     cat: "CatRates | None" = None,
     p_inv: float | None = None,
+    workers: int = 1,
+    execution: str = "simulated",
 ) -> "LikelihoodEngine":
     """Single construction point for every engine flavour.
 
     Composes the orthogonal options in one place — the kernel backend,
-    CLA memory saving (``max_resident``), CAT per-site rates (``cat``)
-    and the invariant-sites mixture (``p_inv``) — so call sites never
-    hand-assemble engine subclasses.
+    CLA memory saving (``max_resident``), CAT per-site rates (``cat``),
+    the invariant-sites mixture (``p_inv``) and real parallel execution
+    (``workers`` / ``execution``) — so call sites never hand-assemble
+    engine subclasses.
+
+    ``workers > 1`` returns a
+    :class:`~repro.parallel.forkjoin.ForkJoinEngine` running ``workers``
+    site slices on the given ``execution`` substrate (``simulated``,
+    ``threads`` or ``processes``); results stay bit-identical to the
+    serial engine.  The parallel engines own OS resources — call
+    ``close()`` (or use them as context managers) when done.
 
     Mutually exclusive combinations raise ``ValueError`` rather than
     silently picking one behaviour.
@@ -986,6 +1070,29 @@ def make_engine(
     from .engine import LikelihoodEngine
     from .invariant import InvariantSitesEngine
     from .memsave import MemorySavingEngine
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        if max_resident is not None or p_inv is not None:
+            raise ValueError(
+                "workers > 1 cannot be combined with max_resident or p_inv"
+            )
+        # Lazy import: repro.parallel imports repro.core, not vice versa.
+        from ..parallel.forkjoin import ForkJoinEngine
+
+        if cat is not None and rates is not None:
+            raise ValueError("cat replaces Gamma rates; pass rates=None")
+        return ForkJoinEngine(
+            patterns,
+            tree,
+            model,
+            rates,
+            n_threads=workers,
+            backend=backend,
+            execution=execution,
+            cat=cat,
+        )
 
     resolved = get_backend(backend)
     if cat is not None:

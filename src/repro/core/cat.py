@@ -258,19 +258,27 @@ class CatLikelihoodEngine(LikelihoodEngine):
         self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
         return sumbuf
 
-    def branch_derivatives(self, sumbuf: np.ndarray, t: float) -> tuple[float, float, float]:
+    def derivative_site_terms(
+        self, sumbuf: np.ndarray, t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pattern ``(l, l', l'')`` with per-site CAT rates.
+
+        Each pattern's terms depend only on that pattern's ``sumbuf`` row
+        and rate, so worker slices reproduce the full-alignment values
+        bit-for-bit — the property the parallel engines' fixed-order
+        master reduction relies on.
+        """
         g = self.site_rates[:, None] * self.eigen.eigenvalues[None, :]  # (p, s)
         e = np.exp(g * t)
         l0 = (sumbuf * e).sum(axis=1)
         l1 = (sumbuf * g * e).sum(axis=1)
         l2 = (sumbuf * g * g * e).sum(axis=1)
-        if np.any(l0 <= 0.0):
-            raise FloatingPointError("non-positive CAT site likelihood")
-        w = self.patterns.weights
-        r1 = l1 / l0
         self.counters.record(KernelKind.DERIVATIVE_CORE, self.patterns.n_patterns)
-        return (
-            float(np.dot(np.log(l0), w)),
-            float(np.dot(r1, w)),
-            float(np.dot(l2 / l0 - r1 * r1, w)),
+        return l0, l1, l2
+
+    def branch_derivatives(self, sumbuf: np.ndarray, t: float) -> tuple[float, float, float]:
+        from .kernels import derivative_reduce
+
+        return derivative_reduce(
+            *self.derivative_site_terms(sumbuf, t), self.patterns.weights
         )

@@ -397,6 +397,30 @@ class LikelihoodEngine:
         self.counters.record(KernelKind.DERIVATIVE_CORE, self.patterns.n_patterns)
         return out
 
+    def derivative_site_terms(
+        self, sumbuf: np.ndarray, t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pattern ``(l, l', l'')`` of the ``derivativeCore`` site phase.
+
+        Parallel engines call this on each worker's pattern slice, gather
+        the three arrays in pattern order and reduce at the master with
+        :func:`repro.core.kernels.derivative_reduce` — a fixed,
+        worker-count-independent order, so the reduced derivatives are
+        bit-identical to :meth:`branch_derivatives`.
+        """
+        site_terms = getattr(self.backend, "derivative_site_terms", None)
+        if site_terms is None:  # protocol-minimal backends
+            site_terms = lambda *a: kernels.derivative_site_terms(*a)  # noqa: E731
+        out = site_terms(
+            sumbuf,
+            self.eigen.eigenvalues,
+            self.rate_values,
+            self.rate_weights,
+            t,
+        )
+        self.counters.record(KernelKind.DERIVATIVE_CORE, self.patterns.n_patterns)
+        return out
+
     # ------------------------------------------------------------------
     # housekeeping
     # ------------------------------------------------------------------

@@ -56,6 +56,8 @@ __all__ = [
     "newview_tip_tip",
     "evaluate_edge",
     "derivative_sum",
+    "derivative_site_terms",
+    "derivative_reduce",
     "derivative_core",
     "site_log_likelihoods",
 ]
@@ -256,12 +258,54 @@ def derivative_core(
     scalar accumulations — the structure whose scalar tail the paper
     removes by blocking 8 sites at a time (Sec. V-B4).
     """
-    g = np.multiply.outer(rates, eigenvalues)  # (c, k)
+    l0, l1, l2 = derivative_site_terms(sumbuf, eigenvalues, rates, rate_weights, t)
+    return derivative_reduce(l0, l1, l2, pattern_weights)
+
+
+def derivative_site_terms(
+    sumbuf: np.ndarray,
+    eigenvalues: np.ndarray,
+    rates: np.ndarray,
+    rate_weights: np.ndarray,
+    t: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pattern ``(l, l', l'')`` of :func:`derivative_core`.
+
+    Split out so parallel engines can compute the site phase on each
+    worker's slice and perform the *reduction* (:func:`derivative_reduce`)
+    at the master over the gathered full-length arrays — in a fixed,
+    worker-count-independent order, which keeps the three returned scalars
+    bit-identical to the sequential code path.
+
+    The weight tables are associated as ``m0 = w*e``, ``m1 = m0*g``,
+    ``m2 = m1*g`` — the same association the blocked backend's chunked
+    path uses — so per-pattern values are bitwise identical whichever
+    backend or slice width computed them.
+    """
+    g = np.multiply.outer(np.asarray(rates, dtype=np.float64), eigenvalues)
     e = np.exp(g * t)
-    wc = rate_weights[:, None]
-    l0 = np.einsum("pck,ck->p", sumbuf, wc * e)
-    l1 = np.einsum("pck,ck->p", sumbuf, wc * g * e)
-    l2 = np.einsum("pck,ck->p", sumbuf, wc * g * g * e)
+    m0 = rate_weights[:, None] * e
+    m1 = m0 * g
+    m2 = m1 * g
+    l0 = np.einsum("pck,ck->p", sumbuf, m0)
+    l1 = np.einsum("pck,ck->p", sumbuf, m1)
+    l2 = np.einsum("pck,ck->p", sumbuf, m2)
+    return l0, l1, l2
+
+
+def derivative_reduce(
+    l0: np.ndarray,
+    l1: np.ndarray,
+    l2: np.ndarray,
+    pattern_weights: np.ndarray,
+) -> tuple[float, float, float]:
+    """Scalar phase of ``derivativeCore``: weighted reduction of site terms.
+
+    Deterministic regardless of how the ``l*`` arrays were produced
+    (sequential, per-worker slices gathered in pattern order, ...) —
+    ``np.dot`` over the same full-length arrays always reduces in the
+    same order, so parallel results match sequential ones bit-for-bit.
+    """
     if np.any(l0 <= 0.0):
         bad = int(np.argmin(l0))
         raise FloatingPointError(

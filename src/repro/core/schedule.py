@@ -126,7 +126,17 @@ class WaveStats:
     attributed to wave execution.  Like the kernel counters, the totals
     are **cumulative across runs** — call :meth:`reset` (or
     ``engine.reset_profile()``) for per-run numbers.
+
+    ``last_plan`` holds the per-wave profiles of the most recent plan.
+    Drivers that call :meth:`PlanExecutor.run_wave` directly (fork-join
+    lock-step, distributed replay) never pass through
+    :meth:`PlanExecutor.execute`'s clear, so the list is additionally
+    capped at :data:`LAST_PLAN_CAP` entries (oldest dropped) to keep
+    long-running parallel searches from growing it without bound.
     """
+
+    #: Upper bound on retained :class:`WaveProfile` entries in ``last_plan``.
+    LAST_PLAN_CAP = 512
 
     plans: int = 0
     waves: int = 0
@@ -153,6 +163,8 @@ class WaveStats:
         for kind, n in profile.kernel_mix.items():
             self.kernel_mix[kind] = self.kernel_mix.get(kind, 0) + n
         self.last_plan.append(profile)
+        if len(self.last_plan) > self.LAST_PLAN_CAP:
+            del self.last_plan[: -self.LAST_PLAN_CAP]
 
     def merge(self, other: "WaveStats") -> "WaveStats":
         """Fold another executor's stats into this one (in place)."""

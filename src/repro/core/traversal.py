@@ -233,6 +233,19 @@ class KernelCounters:
         c.reductions = self.reductions
         return c
 
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate ``other``'s totals into this object (in place).
+
+        Used to combine per-worker counters into one engine-wide view;
+        callers are responsible for not merging the same source twice
+        (see ``ForkJoinEngine.counters`` for the dedup-by-identity rule).
+        """
+        for kind, n in other.calls.items():
+            self.calls[kind] = self.calls.get(kind, 0) + n
+        for kind, n in other.site_units.items():
+            self.site_units[kind] = self.site_units.get(kind, 0) + n
+        self.reductions += other.reductions
+
     def reset(self) -> None:
         """Zero all totals.
 

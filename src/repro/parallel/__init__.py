@@ -11,7 +11,16 @@ scheme with bit-level agreement against the serial engine.
 from .distribute import SiteDistribution, distribute_block, distribute_cyclic
 from .distributed import DistributedEngine
 from .examl import ExaMLModel, RunPrediction
-from .forkjoin import ForkJoinEngine
+from .forkjoin import EXECUTION_MODES, ForkJoinEngine, merged_backend_profile
+from .pool import (
+    BarrierStats,
+    SumBufferHandle,
+    WorkerFailure,
+    WorkerPool,
+    WorkerRestart,
+    slice_cat,
+)
+from .shm import ArenaLayout, SharedArena, active_arena_segments
 from .hybrid import (
     MIC_ONCARD_MPI,
     ParallelConfig,
@@ -38,7 +47,18 @@ __all__ = [
     "distribute_cyclic",
     "DistributedEngine",
     "ExaMLModel",
+    "EXECUTION_MODES",
     "ForkJoinEngine",
+    "merged_backend_profile",
+    "BarrierStats",
+    "SumBufferHandle",
+    "WorkerFailure",
+    "WorkerPool",
+    "WorkerRestart",
+    "slice_cat",
+    "ArenaLayout",
+    "SharedArena",
+    "active_arena_segments",
     "RunPrediction",
     "MIC_ONCARD_MPI",
     "ParallelConfig",

@@ -32,7 +32,9 @@ from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
-from .distribute import SiteDistribution, distribute_cyclic
+from ..core.kernels import derivative_reduce
+from .distribute import SiteDistribution, distribute_block, distribute_cyclic
+from .pool import SumBufferHandle, WorkerPool, WorkerRestart
 from .simmpi import SimMPI
 
 __all__ = ["DistributedEngine"]
@@ -81,26 +83,67 @@ class DistributedEngine:
         distribution: SiteDistribution | None = None,
         backend: str | KernelBackend | None = None,
         on_rank_failure: str = "degrade",
+        execution: str = "simulated",
+        start_method: str | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         if on_rank_failure not in ("degrade", "abort"):
             raise ValueError("on_rank_failure must be 'degrade' or 'abort'")
+        if execution not in ("simulated", "processes"):
+            raise ValueError(
+                "execution must be 'simulated' or 'processes', "
+                f"got {execution!r}"
+            )
         self.on_rank_failure = on_rank_failure
+        self.execution = execution
         self.dead_ranks: set[int] = set()
         self.adoptions: dict[int, int] = {}
         self.rank_failures = 0
         self.recovery_seconds = 0.0
         self.patterns = patterns
         self.tree = tree
+        self._model = model
+        self._rates = rates
+        self._closed = False
         self.mpi = mpi if mpi is not None else SimMPI(n_ranks)
         if self.mpi.n_ranks != n_ranks:
             raise ValueError("SimMPI rank count mismatch")
-        self.distribution = distribution or distribute_cyclic(
-            patterns.n_patterns, n_ranks
+        self.distribution = distribution or (
+            distribute_block(patterns.n_patterns, n_ranks)
+            if execution == "processes"
+            else distribute_cyclic(patterns.n_patterns, n_ranks)
         )
         if self.distribution.n_workers != n_ranks:
             raise ValueError("distribution worker count mismatch")
+        if execution == "processes":
+            if backend is not None and not isinstance(backend, str):
+                raise ValueError(
+                    "execution='processes' takes a backend *name*; each "
+                    "rank process builds its own instance"
+                )
+            # Real rank processes over one shared arena.  SimMPI stays in
+            # the loop for collective accounting and fault *injection*:
+            # an injected rank death actually kills the pool worker, and
+            # recovery is the pool's real slice adoption.
+            self.pool: WorkerPool | None = WorkerPool(
+                patterns,
+                tree,
+                model,
+                rates,
+                n_workers=n_ranks,
+                backend=backend,
+                on_worker_failure=on_rank_failure
+                if on_rank_failure == "abort"
+                else "degrade",
+                distribution=self.distribution,
+                start_method=start_method,
+            )
+            self.backend = None
+            self.wave_boundaries = 0
+            self.ranks: list[LikelihoodEngine] = []
+            return
+        self.pool = None
         # One backend instance across ranks: the profile aggregates the
         # whole distributed workload (per-rank counters stay separate).
         self.backend = get_backend(backend)
@@ -125,22 +168,65 @@ class DistributedEngine:
     # -- LikelihoodEngine-compatible surface ---------------------------
     @property
     def rates_model(self) -> GammaRates:
+        if self.pool is not None:
+            return self._rates
         return self.ranks[0].rates_model
 
     @property
     def model(self) -> SubstitutionModel:
+        if self.pool is not None:
+            return self._model
         return self.ranks[0].model
 
     def set_model(self, model: SubstitutionModel, rates: GammaRates | None = None) -> None:
+        self._model = model
+        if rates is not None:
+            self._rates = rates
+        if self.pool is not None:
+            self._pool_retry(lambda: self.pool.set_model(model, rates))
+            return
         for engine in self.ranks:
             engine.set_model(model, rates)
 
     def set_alpha(self, alpha: float) -> None:
+        if self._rates is not None:
+            self._rates = self._rates.with_alpha(float(alpha))
+        if self.pool is not None:
+            self._pool_retry(lambda: self.pool.set_alpha(float(alpha)))
+            return
         for engine in self.ranks:
             engine.set_alpha(alpha)
 
     def default_edge(self) -> int:
-        return self.ranks[0].default_edge()
+        return min(self.tree.edge_ids)
+
+    # -- real rank processes --------------------------------------------
+    def _pool_retry(self, fn):
+        """Replay a pool operation across real rank deaths.
+
+        The pool absorbs a death by slice adoption and raises
+        :class:`~repro.parallel.pool.WorkerRestart`; the engine mirrors
+        the pool's adoption bookkeeping into its own rank accounting and
+        replays the operation (ranks are deterministic, so the replay is
+        exact).
+        """
+        for _ in range(2 * self.mpi.n_ranks + 1):
+            try:
+                return fn()
+            except WorkerRestart:
+                for w in self.pool.dead:
+                    if w not in self.dead_ranks:
+                        self.dead_ranks.add(w)
+                        self.rank_failures += 1
+                    self.adoptions[w] = self.pool.adoptions.get(w, w)
+                continue
+        raise RankFailure(-1, "rank deaths kept firing; giving up")
+
+    def _pool_validate(self, root_edge: int) -> None:
+        depth = self.pool.prepare(self.tree.to_state(), root_edge)
+        self.wave_boundaries += depth
+        for k in range(depth):
+            self.pool.run_wave(k)
 
     def ensure_valid(self, root_edge: int) -> None:
         """Advance every rank through the levelized plan wave-by-wave.
@@ -150,6 +236,9 @@ class DistributedEngine:
         Each wave increments :attr:`wave_boundaries` but charges *no*
         communication — there is no message between newview calls.
         """
+        if self.pool is not None:
+            self._pool_retry(lambda: self._pool_validate(root_edge))
+            return
         plans = [engine.plan_execution(root_edge) for engine in self.ranks]
         depth = max((p.depth for p in plans), default=0)
         for k in range(depth):
@@ -173,7 +262,9 @@ class DistributedEngine:
     @property
     def alive_ranks(self) -> list[int]:
         """Ranks still alive, in index order."""
-        return [r for r in range(len(self.ranks)) if r not in self.dead_ranks]
+        return [
+            r for r in range(self.mpi.n_ranks) if r not in self.dead_ranks
+        ]
 
     def _handle_rank_failure(self, failure: RankFailure) -> None:
         """Apply the ``on_rank_failure`` policy to one injected death."""
@@ -234,25 +325,68 @@ class DistributedEngine:
             try:
                 return self.mpi.allreduce_sum(parts)
             except RankFailure as failure:
+                if (
+                    self.pool is not None
+                    and self.on_rank_failure == "degrade"
+                    and failure.rank not in self.dead_ranks
+                    and failure.rank not in self.pool.dead
+                ):
+                    # Injected death made real: the pool worker dies too,
+                    # so the *next* region exercises real slice adoption.
+                    self.pool.kill_worker(failure.rank)
                 self._handle_rank_failure(failure)
         raise RankFailure(-1, "rank-death faults kept firing; giving up")
 
     def log_likelihood(self, root_edge: int | None = None) -> float:
-        """Partial per-rank lnL, combined by one scalar AllReduce."""
+        """Partial per-rank lnL, combined by one scalar AllReduce.
+
+        With real rank processes the AllReduce still runs (accounting
+        and fault injection over the per-rank partial lane), but the
+        *returned* value comes from the gathered per-site lane reduced
+        in fixed pattern order — bit-identical to the sequential engine
+        for every rank count.
+        """
         if root_edge is None:
             root_edge = self.default_edge()
+        if self.pool is not None:
+            def op() -> float:
+                self._pool_validate(root_edge)
+                self.pool.root(root_edge)
+                return float(
+                    np.dot(self.pool.site_lane(), self.patterns.weights)
+                )
+            value = self._pool_retry(op)
+            parts = [float(x) for x in self.pool.partial_lane()[:, 0]]
+            self._allreduce(parts)  # accounting + fault injection
+            return value
         self.ensure_valid(root_edge)
         parts = [engine.log_likelihood(root_edge) for engine in self.ranks]
         return float(self._allreduce(parts)[0])
 
-    def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
+    def edge_sum_buffer(self, root_edge: int):
         """Per-rank sum buffers (stay resident; never communicated)."""
+        if self.pool is not None:
+            def op() -> SumBufferHandle:
+                self._pool_validate(root_edge)
+                return self.pool.sumbuf(root_edge)
+            return self._pool_retry(op)
         return [engine.edge_sum_buffer(root_edge) for engine in self.ranks]
 
-    def branch_derivatives(
-        self, sumbufs: list[np.ndarray], t: float
-    ) -> tuple[float, float, float]:
+    def branch_derivatives(self, sumbufs, t: float) -> tuple[float, float, float]:
         """Per-rank ``derivativeCore`` + one AllReduce of 3 doubles."""
+        if self.pool is not None:
+            def op() -> tuple[float, float, float]:
+                self.pool.deriv(sumbufs, t)
+                l0, l1, l2 = self.pool.terms_lane()
+                return derivative_reduce(
+                    l0.copy(), l1.copy(), l2.copy(), self.patterns.weights
+                )
+            value = self._pool_retry(op)
+            parts = [
+                np.array(row) for row in self.pool.partial_lane()[:, 1:4]
+            ]
+            self._allreduce(parts)  # accounting + fault injection
+            return value
         parts = [
             np.array(engine.branch_derivatives(sb, t))
             for engine, sb in zip(self.ranks, sumbufs)
@@ -262,6 +396,14 @@ class DistributedEngine:
 
     def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
         """Gathered per-pattern lnL in original pattern order."""
+        if root_edge is None:
+            root_edge = self.default_edge()
+        if self.pool is not None:
+            def op() -> np.ndarray:
+                self._pool_validate(root_edge)
+                self.pool.root(root_edge)
+                return self.pool.site_lane().copy()
+            return self._pool_retry(op)
         out = np.empty(self.patterns.n_patterns)
         for r, engine in enumerate(self.ranks):
             out[self.distribution.indices_of(r)] = engine.site_log_likelihoods(
@@ -270,17 +412,25 @@ class DistributedEngine:
         return out
 
     def drop_caches(self) -> None:
+        if self.pool is not None:
+            self._pool_retry(self.pool.drop_caches)
+            return
         for engine in self.ranks:
             engine.drop_caches()
 
     @property
     def counters(self):
-        """Rank-0 counters (all ranks perform identical call sequences)."""
+        """Rank-0 counters (all ranks perform identical call sequences);
+        merged across rank processes for real execution."""
+        if self.pool is not None:
+            return self.pool.merged_counters()
         return self.ranks[0].counters
 
     @property
     def profile(self) -> KernelProfile:
         """Measured profile of the shared backend (all ranks)."""
+        if self.pool is not None:
+            return self.pool.merged_profile()
         return self.backend.profile
 
     @property
@@ -291,15 +441,25 @@ class DistributedEngine:
     @property
     def wave_stats(self) -> WaveStats:
         """Wave statistics merged across every rank's executor."""
+        if self.pool is not None:
+            return self.pool.merged_wave_stats()
         total = WaveStats()
         for engine in self.ranks:
             total.merge(engine.wave_stats)
         return total
 
+    @property
+    def barrier_stats(self):
+        """Measured fork-join costs (real rank processes only)."""
+        return self.pool.barrier_stats if self.pool is not None else None
+
     def reset_profile(self) -> None:
         """Zero every rank's counters/stats and the shared profile."""
-        for engine in self.ranks:
-            engine.reset_profile()
+        if self.pool is not None:
+            self._pool_retry(self.pool.reset_profiles)
+        else:
+            for engine in self.ranks:
+                engine.reset_profile()
         self.wave_boundaries = 0
         self.mpi.comm_seconds = 0.0
         self.mpi.allreduce_calls = 0
@@ -310,7 +470,24 @@ class DistributedEngine:
 
     def reset_all_observability(self) -> None:
         """Engine-wide reset plus the obs metrics registry and tracer."""
+        if self.pool is not None:
+            self._pool_retry(self.pool.reset_observability)
         self.reset_profile()
         _obs_metrics.get_registry().reset()
         if _obs.ENABLED:
             _obs.get_tracer().clear()
+
+    # -- lifetime -------------------------------------------------------
+    def close(self) -> None:
+        """Shut real rank processes down (no-op for simulated ranks)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "DistributedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,33 +8,127 @@ in shared memory at the master.  The paper reuses this scheme unchanged
 for the native MIC port ("there is no need to introduce a thread-level
 parallelization in the kernel code").
 
-:class:`ForkJoinEngine` is the functional counterpart of
-:class:`~repro.parallel.distributed.DistributedEngine` for this model:
-same numerical results, same duck-typed engine surface, but the
-synchronisation *accounting* charges two barriers per kernel call — the
-cost structure that makes fork-join lose to ExaML's scheme as thread
-counts grow (ablation E9), while communication (AllReduce) cost is zero
-because everything is shared memory.
+:class:`ForkJoinEngine` implements that scheme at three fidelity
+levels, selected by ``execution``:
+
+``"simulated"``
+    The original functional model: worker slices run sequentially in
+    the master, every region charged the *modelled* two-barrier cost of
+    a :class:`~repro.parallel.pthreads.ForkJoinModel` — the cost
+    structure that makes fork-join lose to ExaML's scheme as thread
+    counts grow (ablation E9).
+``"threads"``
+    Real in-process parallelism: a persistent thread pool executes each
+    wave's worker slices concurrently (NumPy kernels release the GIL),
+    and every region's announcement/barrier cost is *measured* into
+    :class:`~repro.parallel.pool.BarrierStats`.
+``"processes"``
+    The paper's scheme made real across processes: a spawn-once
+    :class:`~repro.parallel.pool.WorkerPool` over one shared-memory
+    arena (zero-copy CLAs/result lanes), with worker-death degradation
+    and measured barriers.
+
+All three modes reduce through full-length per-site lanes gathered in
+pattern order, so log-likelihoods and branch derivatives are
+**bit-identical** to the sequential engine for every thread count.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..core.backends import KernelBackend, KernelProfile, get_backend
+from ..core.cat import CatLikelihoodEngine
+from ..core.engine import LikelihoodEngine
+from ..core.kernels import derivative_reduce
+from ..core.schedule import WaveStats
+from ..core.traversal import KernelCounters
 from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
-from ..core.engine import LikelihoodEngine
-from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
-from ..phylo.rates import GammaRates
+from ..phylo.rates import CatRates, GammaRates, discrete_gamma_rates
 from ..phylo.tree import Tree
-from .distribute import SiteDistribution, distribute_cyclic
+from .distribute import SiteDistribution, distribute_block, distribute_cyclic
 from .distributed import _slice_patterns
+from .pool import (
+    BarrierStats,
+    SumBufferHandle,
+    WorkerFailure,
+    WorkerPool,
+    WorkerRestart,
+    slice_cat,
+)
 from .pthreads import CPU_PTHREADS, ForkJoinModel
 
-__all__ = ["ForkJoinEngine"]
+__all__ = [
+    "ForkJoinEngine",
+    "EXECUTION_MODES",
+    "WORKERS_ENV",
+    "EXEC_ENV",
+    "default_workers",
+    "default_execution",
+    "merged_backend_profile",
+]
+
+#: Supported execution substrates, cheapest first.
+EXECUTION_MODES = ("simulated", "threads", "processes")
+
+#: Environment variables consulted for process-wide parallel defaults
+#: (mirrors ``REPRO_BACKEND`` for kernel backends).
+WORKERS_ENV = "REPRO_WORKERS"
+EXEC_ENV = "REPRO_EXEC"
+
+
+def default_workers() -> int:
+    """Process default worker count: ``$REPRO_WORKERS`` or 1 (serial)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        n = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from exc
+    if n < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {n}")
+    return n
+
+
+def default_execution() -> str:
+    """Process default execution mode: ``$REPRO_EXEC`` or ``simulated``."""
+    raw = os.environ.get(EXEC_ENV, "").strip()
+    if not raw:
+        return EXECUTION_MODES[0]
+    if raw not in EXECUTION_MODES:
+        raise ValueError(
+            f"{EXEC_ENV} must be one of {', '.join(EXECUTION_MODES)}; got {raw!r}"
+        )
+    return raw
+
+
+def merged_backend_profile(engines) -> KernelProfile:
+    """One profile over many engines without double counting.
+
+    Engines sharing one backend *instance* (the simulated fork-join
+    default) contribute that instance's profile exactly once — merging
+    per-engine ``backend.profile`` naively would multiply every batched
+    dispatch by the worker count.
+    """
+    merged = KernelProfile()
+    seen: set[int] = set()
+    for engine in engines:
+        backend = engine.backend
+        if id(backend) in seen:
+            continue
+        seen.add(id(backend))
+        merged.merge(backend.profile)
+    return merged
 
 
 class ForkJoinEngine:
@@ -50,34 +144,102 @@ class ForkJoinEngine:
         sync_model: ForkJoinModel = CPU_PTHREADS,
         distribution: SiteDistribution | None = None,
         backend: str | KernelBackend | None = None,
+        execution: str = "simulated",
+        cat: CatRates | None = None,
+        on_worker_failure: str = "degrade",
+        start_method: str | None = None,
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         self.patterns = patterns
         self.tree = tree
         self.n_threads = n_threads
+        self.execution = execution
         self.sync_model = sync_model
         self.sync_seconds = 0.0
         self.parallel_regions = 0
+        self.barrier_stats = BarrierStats()
+        self.cat = cat
+        self._alpha = 1.0 if cat is not None else None
+        self._model = model
+        self._rates = rates
+        self._closed = False
+        self.pool: WorkerPool | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+        if execution == "processes":
+            if backend is not None and not isinstance(backend, str):
+                raise ValueError(
+                    "execution='processes' takes a backend *name*; each "
+                    "worker process builds its own instance"
+                )
+            self.distribution = distribution or distribute_block(
+                patterns.n_patterns, n_threads
+            )
+            if self.distribution.n_workers != n_threads:
+                raise ValueError("distribution worker count mismatch")
+            self.pool = WorkerPool(
+                patterns,
+                tree,
+                model,
+                rates,
+                n_workers=n_threads,
+                backend=backend,
+                cat=cat,
+                on_worker_failure=on_worker_failure,
+                distribution=self.distribution,
+                start_method=start_method,
+            )
+            self.barrier_stats = self.pool.barrier_stats
+            self.backend = None
+            self.workers: list = []
+            return
+
         self.distribution = distribution or distribute_cyclic(
             patterns.n_patterns, n_threads
         )
         if self.distribution.n_workers != n_threads:
             raise ValueError("distribution worker count mismatch")
-        # All worker slices share one backend instance, so the profile
-        # aggregates the whole fork-join workload.
-        self.backend = get_backend(backend)
-        self.workers = [
-            LikelihoodEngine(
-                _slice_patterns(patterns, self.distribution.indices_of(t)),
-                tree,
-                model,
-                rates,
-                backend=self.backend,
+        if execution == "threads":
+            if backend is not None and not isinstance(backend, str):
+                raise ValueError(
+                    "execution='threads' takes a backend *name*; scratch-"
+                    "carrying backends are not safe to share across threads"
+                )
+            # One instance per worker thread; profiles merge at read time.
+            worker_backends = [get_backend(backend) for _ in range(n_threads)]
+            self.backend = None
+            self._executor = ThreadPoolExecutor(
+                max_workers=n_threads, thread_name_prefix="repro-fj"
             )
-            for t in range(n_threads)
-        ]
+        else:
+            # All worker slices share one backend instance, so the profile
+            # aggregates the whole fork-join workload.
+            self.backend = get_backend(backend)
+            worker_backends = [self.backend] * n_threads
 
+        self.workers = []
+        for t in range(n_threads):
+            idx = self.distribution.indices_of(t)
+            sliced = _slice_patterns(patterns, idx)
+            if cat is not None:
+                worker = CatLikelihoodEngine(
+                    sliced, tree, model, slice_cat(cat, idx),
+                    backend=worker_backends[t],
+                )
+            else:
+                worker = LikelihoodEngine(
+                    sliced, tree, model, rates, backend=worker_backends[t]
+                )
+            self.workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
     def _region(self) -> None:
         """Account one parallel region: two syncs (Sec. V-D)."""
         self.parallel_regions += 1
@@ -98,6 +260,65 @@ class ForkJoinEngine:
                 "repro_barriers_total", "simulated rank barriers"
             ).inc(2)
 
+    def _threads_region(self, tasks) -> list:
+        """Run one measured fork-join region on the thread pool.
+
+        ``tasks`` maps worker index -> zero-arg callable (or ``None`` to
+        idle this region).  Returns per-worker results, recording the
+        measured region/compute times into :attr:`barrier_stats` and the
+        measured announcement+barrier overhead into
+        :attr:`sync_seconds`.
+        """
+        self.parallel_regions += 1
+        t0 = time.perf_counter()
+        futures = {}
+        for t, task in enumerate(tasks):
+            if task is not None:
+                futures[t] = self._executor.submit(_timed, task)
+        results = [None] * len(tasks)
+        worker_s = []
+        for t, fut in futures.items():
+            secs, value = fut.result()
+            worker_s.append(secs)
+            results[t] = value
+        region_s = time.perf_counter() - t0
+        self.barrier_stats.record(region_s, worker_s)
+        self.sync_seconds += max(
+            region_s - max(worker_s, default=0.0), 0.0
+        )
+        if _obs.ENABLED:
+            _obs.instant(
+                "forkjoin_region",
+                threads=self.n_threads,
+                measured_us=region_s * 1e6,
+            )
+            reg = _obs_metrics.get_registry()
+            reg.counter(
+                "repro_forkjoin_regions_total",
+                "fork-join parallel regions (two barriers each)",
+            ).inc()
+        return results
+
+    def _retry(self, fn):
+        """Replay a pool operation across absorbed worker deaths."""
+        last: WorkerRestart | None = None
+        for _ in range(self.n_threads + 1):
+            try:
+                return fn()
+            except WorkerRestart as exc:
+                last = exc
+                continue
+        raise WorkerFailure(
+            last.worker if last else -1, "too many worker restarts"
+        )
+
+    def _sync_from_pool(self) -> None:
+        self.parallel_regions = self.pool.barrier_stats.regions
+        self.sync_seconds = self.pool.barrier_stats.overhead_seconds
+
+    # ------------------------------------------------------------------
+    # validity (wave execution)
+    # ------------------------------------------------------------------
     def ensure_valid(self, root_edge: int) -> None:
         """Run the levelized plan with one parallel region per wave.
 
@@ -108,99 +329,295 @@ class ForkJoinEngine:
         PThreads scheme.  All workers share the tree, so their plans
         levelize identically.
         """
+        if self.execution == "processes":
+            self._pool_validate(root_edge)
+            return
         plans = [w.plan_execution(root_edge) for w in self.workers]
         depth = max((p.depth for p in plans), default=0)
         for k in range(depth):
+            if self.execution == "threads":
+                self._threads_region([
+                    (lambda w=w, p=p: w.executor.run_wave(p.waves[k]))
+                    if k < p.depth else None
+                    for w, p in zip(self.workers, plans)
+                ])
+                continue
             self._region()  # one region (two barriers) per wave
             for t, (worker, plan) in enumerate(zip(self.workers, plans)):
                 if k < plan.depth:
                     with _obs.track_scope(f"thread-{t}"):
                         worker.executor.run_wave(plan.waves[k])
 
-    # -- LikelihoodEngine-compatible surface ---------------------------
+    def _pool_validate(self, root_edge: int) -> None:
+        """One prepare + per-wave regions on the process pool (no retry:
+        callers wrap the whole top-level op so replays re-prepare)."""
+        depth = self.pool.prepare(self.tree.to_state(), root_edge)
+        for k in range(depth):
+            self.pool.run_wave(k)
+
+    # ------------------------------------------------------------------
+    # LikelihoodEngine-compatible surface
+    # ------------------------------------------------------------------
     @property
     def rates_model(self) -> GammaRates:
+        if self.execution == "processes":
+            return self._rates
         return self.workers[0].rates_model
 
     @property
     def model(self) -> SubstitutionModel:
+        if self.execution == "processes":
+            return self._model
         return self.workers[0].model
 
+    @property
+    def alpha(self) -> float | None:
+        """CAT shape parameter (None for plain Gamma engines)."""
+        return self._alpha if self.cat is not None else None
+
     def set_model(self, model: SubstitutionModel, rates: GammaRates | None = None) -> None:
+        self._model = model
+        if rates is not None:
+            self._rates = rates
+        if self.execution == "processes":
+            self._retry(lambda: self.pool.set_model(model, rates))
+            self._sync_from_pool()
+            return
         for worker in self.workers:
             worker.set_model(model, rates)
 
     def set_alpha(self, alpha: float) -> None:
+        if self.cat is not None:
+            self._set_cat_alpha(float(alpha))
+            return
+        if self._rates is not None:
+            self._rates = self._rates.with_alpha(float(alpha))
+        if self.execution == "processes":
+            self._retry(lambda: self.pool.set_alpha(float(alpha)))
+            self._sync_from_pool()
+            return
         for worker in self.workers:
             worker.set_alpha(alpha)
 
+    def _set_cat_alpha(self, alpha: float) -> None:
+        """CAT shape change, normalised at the master.
+
+        The category rates must be renormalised against the *full*
+        alignment's pattern weights — a worker doing this against its
+        slice weights would silently shift every site rate.
+        """
+        rates = discrete_gamma_rates(alpha, self.cat.category_rates.shape[0])
+        mean = float(
+            np.average(
+                rates[self.cat.site_categories], weights=self.patterns.weights
+            )
+        )
+        self.cat = CatRates(
+            category_rates=rates / mean,
+            site_categories=self.cat.site_categories,
+        )
+        self._alpha = alpha
+        if self.execution == "processes":
+            self._retry(lambda: self.pool.set_cat(self.cat, alpha))
+            self._sync_from_pool()
+            return
+        for t, worker in enumerate(self.workers):
+            worker.cat = slice_cat(self.cat, self.distribution.indices_of(t))
+            worker.set_model(worker.model)
+            worker._alpha = alpha
+
     def default_edge(self) -> int:
-        return self.workers[0].default_edge()
+        return min(self.tree.edge_ids)
 
     def log_likelihood(self, root_edge: int | None = None) -> float:
         if root_edge is None:
             root_edge = self.default_edge()
+        if self.execution == "processes":
+            def op() -> float:
+                self._pool_validate(root_edge)
+                self.pool.root(root_edge)
+                return float(
+                    np.dot(self.pool.site_lane(), self.patterns.weights)
+                )
+            out = self._retry(op)
+            self._sync_from_pool()
+            return out
         self.ensure_valid(root_edge)  # wave regions
-        self._region()  # the evaluate region (shared-memory reduction)
-        return float(
-            sum(worker.log_likelihood(root_edge) for worker in self.workers)
-        )
+        site = self._gather_site_lnl(root_edge)
+        return float(np.dot(site, self.patterns.weights))
 
-    def edge_sum_buffer(self, root_edge: int) -> list[np.ndarray]:
+    def _gather_site_lnl(self, root_edge: int) -> np.ndarray:
+        """One evaluate region; per-site lanes gathered in pattern order.
+
+        The fixed-order master reduction (``np.dot`` over the gathered
+        full-length lane) is what makes the result bit-identical to the
+        sequential engine for every thread count and distribution.
+        """
+        out = np.empty(self.patterns.n_patterns)
+        if self.execution == "threads":
+            parts = self._threads_region([
+                (lambda w=w: w.site_log_likelihoods(root_edge))
+                for w in self.workers
+            ])
+        else:
+            self._region()  # the evaluate region (shared-memory reduction)
+            parts = [w.site_log_likelihoods(root_edge) for w in self.workers]
+        for t, part in enumerate(parts):
+            out[self.distribution.indices_of(t)] = part
+        return out
+
+    def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
+        if root_edge is None:
+            root_edge = self.default_edge()
+        if self.execution == "processes":
+            def op() -> np.ndarray:
+                self._pool_validate(root_edge)
+                self.pool.root(root_edge)
+                return self.pool.site_lane().copy()
+            out = self._retry(op)
+            self._sync_from_pool()
+            return out
+        self.ensure_valid(root_edge)
+        return self._gather_site_lnl(root_edge)
+
+    def edge_sum_buffer(self, root_edge: int):
+        """Per-thread ``derivativeSum`` buffers (opaque to callers)."""
+        if self.execution == "processes":
+            def op() -> SumBufferHandle:
+                self._pool_validate(root_edge)
+                return self.pool.sumbuf(root_edge)
+            handle = self._retry(op)
+            self._sync_from_pool()
+            return handle
         self.ensure_valid(root_edge)  # wave regions
+        if self.execution == "threads":
+            return self._threads_region([
+                (lambda w=w: w.edge_sum_buffer(root_edge))
+                for w in self.workers
+            ])
         self._region()
         return [worker.edge_sum_buffer(root_edge) for worker in self.workers]
 
-    def branch_derivatives(
-        self, sumbufs: list[np.ndarray], t: float
-    ) -> tuple[float, float, float]:
-        self._region()
-        totals = np.zeros(3)
-        for worker, sb in zip(self.workers, sumbufs):
-            totals += np.array(worker.branch_derivatives(sb, t))
-        return float(totals[0]), float(totals[1]), float(totals[2])
-
-    def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
-        self._region()
-        out = np.empty(self.patterns.n_patterns)
-        for t, worker in enumerate(self.workers):
-            out[self.distribution.indices_of(t)] = worker.site_log_likelihoods(
-                root_edge
-            )
-        return out
+    def branch_derivatives(self, sumbufs, t: float) -> tuple[float, float, float]:
+        if self.execution == "processes":
+            def op() -> tuple[float, float, float]:
+                self.pool.deriv(sumbufs, t)
+                l0, l1, l2 = self.pool.terms_lane()
+                return derivative_reduce(
+                    l0.copy(), l1.copy(), l2.copy(), self.patterns.weights
+                )
+            out = self._retry(op)
+            self._sync_from_pool()
+            return out
+        l0 = np.empty(self.patterns.n_patterns)
+        l1 = np.empty_like(l0)
+        l2 = np.empty_like(l0)
+        if self.execution == "threads":
+            parts = self._threads_region([
+                (lambda w=w, sb=sb: w.derivative_site_terms(sb, t))
+                for w, sb in zip(self.workers, sumbufs)
+            ])
+        else:
+            self._region()
+            parts = [
+                w.derivative_site_terms(sb, t)
+                for w, sb in zip(self.workers, sumbufs)
+            ]
+        for i, part in enumerate(parts):
+            idx = self.distribution.indices_of(i)
+            l0[idx], l1[idx], l2[idx] = part
+        return derivative_reduce(l0, l1, l2, self.patterns.weights)
 
     def drop_caches(self) -> None:
+        if self.execution == "processes":
+            self._retry(self.pool.drop_caches)
+            return
         for worker in self.workers:
             worker.drop_caches()
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
     @property
-    def counters(self):
-        """Thread-0 counters (each worker performs the same call mix)."""
+    def counters(self) -> KernelCounters:
+        """Thread-0 counters for in-process modes (each worker performs
+        the same call mix); merged across workers for process pools."""
+        if self.execution == "processes":
+            return self.pool.merged_counters()
         return self.workers[0].counters
 
     @property
     def profile(self) -> KernelProfile:
-        """Measured profile of the shared backend (all threads)."""
-        return self.backend.profile
+        """Measured kernel profile over every worker, without
+        double-counting shared backend instances."""
+        if self.execution == "processes":
+            return self.pool.merged_profile()
+        return merged_backend_profile(self.workers)
 
     @property
     def wave_stats(self) -> WaveStats:
         """Wave statistics merged across every worker's executor."""
+        if self.execution == "processes":
+            return self.pool.merged_wave_stats()
         total = WaveStats()
         for worker in self.workers:
             total.merge(worker.wave_stats)
         return total
 
     def reset_profile(self) -> None:
-        """Zero every worker's counters/stats and the shared profile."""
-        for worker in self.workers:
-            worker.reset_profile()
+        """Zero every worker's counters/stats and the measured barriers."""
+        if self.execution == "processes":
+            self._retry(self.pool.reset_profiles)
+        else:
+            for worker in self.workers:
+                worker.reset_profile()
         self.sync_seconds = 0.0
         self.parallel_regions = 0
+        self.barrier_stats.reset()
 
     def reset_all_observability(self) -> None:
-        """Engine-wide reset plus the obs metrics registry and tracer."""
-        self.reset_profile()
+        """Engine-wide reset plus the obs metrics registry and tracer.
+
+        Process pools forward the reset to every worker process, so
+        per-worker counters/profiles/wave-stats restart from zero too.
+        """
+        if self.execution == "processes":
+            self._retry(self.pool.reset_observability)
+            self.sync_seconds = 0.0
+            self.parallel_regions = 0
+            self.barrier_stats.reset()
+        else:
+            self.reset_profile()
         _obs_metrics.get_registry().reset()
         if _obs.ENABLED:
             _obs.get_tracer().clear()
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the execution substrate (idempotent).
+
+        Shuts the process pool down (unlinking its shared arena) or the
+        thread pool; a no-op for the simulated engine.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.pool is not None:
+            self.pool.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ForkJoinEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _timed(task):
+    """Run one worker task, returning ``(compute_seconds, result)``."""
+    t0 = time.perf_counter()
+    value = task()
+    return time.perf_counter() - t0, value

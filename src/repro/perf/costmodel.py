@@ -44,6 +44,9 @@ __all__ = [
     "MeasuredKernelCost",
     "measured_costs",
     "wave_schedule_costs",
+    "MeasuredSyncCost",
+    "measured_sync_cost",
+    "calibrate_forkjoin",
 ]
 
 KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
@@ -393,3 +396,89 @@ def measured_costs(source) -> dict[str, MeasuredKernelCost]:
         )
         for k in KERNELS
     }
+
+
+# ----------------------------------------------------------------------
+# measured synchronisation costs (real fork-join regions -> calibration)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasuredSyncCost:
+    """Empirical fork-join region cost from a real parallel engine.
+
+    The PThreads/OpenMP side of the model predicts the two-barrier
+    region overhead from published microbenchmark constants; this is the
+    measured counterpart, built from the
+    :class:`repro.parallel.pool.BarrierStats` a real
+    :class:`~repro.parallel.pool.WorkerPool` (or threaded fork-join
+    engine) records while running: regions observed, mean wall time per
+    region, mean announcement + barrier + straggler overhead (region
+    wall time minus the slowest worker's compute), and the fraction of
+    region time lost to synchronisation.
+    """
+
+    regions: int
+    mean_region_s: float
+    mean_overhead_s: float
+    mean_compute_s: float
+    overhead_fraction: float
+
+
+def measured_sync_cost(stats) -> MeasuredSyncCost:
+    """Summarise one engine's measured barrier statistics.
+
+    ``stats`` is a :class:`repro.parallel.pool.BarrierStats` instance or
+    its ``to_dict()`` payload (what benchmark JSON artefacts store).
+    """
+    if hasattr(stats, "to_dict"):
+        stats = stats.to_dict()
+    regions = int(stats.get("regions", 0))
+    region_s = float(stats.get("region_seconds", 0.0))
+    overhead_s = float(stats.get("overhead_seconds", 0.0))
+    compute_s = float(stats.get("compute_seconds", 0.0))
+    return MeasuredSyncCost(
+        regions=regions,
+        mean_region_s=region_s / regions if regions else 0.0,
+        mean_overhead_s=overhead_s / regions if regions else 0.0,
+        mean_compute_s=compute_s / regions if regions else 0.0,
+        overhead_fraction=overhead_s / region_s if region_s else 0.0,
+    )
+
+
+def calibrate_forkjoin(samples: dict, name: str = "measured-forkjoin"):
+    """Fit a :class:`~repro.parallel.pthreads.ForkJoinModel` to measured
+    barriers.
+
+    ``samples`` maps worker count -> ``BarrierStats`` (or its dict
+    payload).  The fork-join region overhead is modelled as two barriers
+    of ``a + b * n`` seconds each, so the mean measured region overhead
+    at each worker count gives one point of ``2 * (a + b * n)``; the
+    constants are recovered by least squares (clamped non-negative).  A
+    single sample pins only the constant term (``b = 0``) — measure at
+    two or more worker counts to separate the per-thread slope, exactly
+    how the modelled constants were calibrated from EPCC-style
+    microbenchmarks.
+    """
+    from ..parallel.openmp import OpenMPModel
+    from ..parallel.pthreads import ForkJoinModel
+
+    points = [
+        (int(n), measured_sync_cost(stats).mean_overhead_s)
+        for n, stats in samples.items()
+        if measured_sync_cost(stats).regions > 0
+    ]
+    if not points:
+        raise ValueError("no measured regions to calibrate from")
+    if len(points) == 1:
+        a = max(points[0][1] / 2.0, 0.0)
+        b = 0.0
+    else:
+        arr = np.array(points, dtype=np.float64)
+        design = np.column_stack([np.ones(arr.shape[0]), arr[:, 0]])
+        coef, *_ = np.linalg.lstsq(design, arr[:, 1] / 2.0, rcond=None)
+        a, b = max(float(coef[0]), 0.0), max(float(coef[1]), 0.0)
+    return ForkJoinModel(
+        name=name,
+        barrier=OpenMPModel(
+            name=f"{name}-barrier", fork_base_s=a, barrier_per_thread_s=b
+        ),
+    )

@@ -350,6 +350,8 @@ def resume_engine(
     patterns: PatternAlignment,
     checkpoint: Checkpoint,
     backend: str | KernelBackend | None = None,
+    workers: int = 1,
+    execution: str = "simulated",
 ) -> LikelihoodEngine:
     """Rebuild an engine from a checkpoint over the original alignment.
 
@@ -384,4 +386,12 @@ def resume_engine(
     gamma = GammaRates(
         alpha=checkpoint.alpha, n_categories=checkpoint.n_rate_categories
     )
-    return make_engine(patterns, tree, model, gamma, backend=backend)
+    return make_engine(
+        patterns,
+        tree,
+        model,
+        gamma,
+        backend=backend,
+        workers=workers,
+        execution=execution,
+    )

@@ -100,6 +100,8 @@ def place_queries(
     newton_iterations: int = 4,
     keep_best: int = 5,
     backend: str | KernelBackend | None = None,
+    workers: int = 1,
+    execution: str = "simulated",
 ) -> list[PlacementResult]:
     """Place each query sequence on its best reference branches.
 
@@ -116,40 +118,62 @@ def place_queries(
     backend:
         Kernel backend name or instance shared by every per-query engine
         (see :mod:`repro.core.backends`).
+    workers / execution:
+        ``workers > 1`` evaluates each per-query engine on a
+        :class:`~repro.parallel.forkjoin.ForkJoinEngine` with that many
+        site slices (``execution``: ``simulated``/``threads``/
+        ``processes``); placements stay bit-identical to the serial
+        run.  Engines are closed after each query, so no pool or
+        shared-memory segment outlives the call.
     """
     if isinstance(reference_alignment, Alignment):
         reference_alignment = reference_alignment.compress()
     if not queries:
         raise ValueError("no query sequences given")
-    resolved = get_backend(backend)
+    # Parallel modes build per-worker backend instances from the *name*;
+    # the serial path shares one resolved instance across queries.
+    resolved = backend if workers > 1 else get_backend(backend)
     results: list[PlacementResult] = []
     for name, seq in queries.items():
         merged = _merge_alignment(reference_alignment, {name: seq}).compress()
         tree = reference_tree.copy()
-        engine = make_engine(merged, tree, model, gamma, backend=resolved)
+        engine = make_engine(
+            merged,
+            tree,
+            model,
+            gamma,
+            backend=resolved,
+            workers=workers,
+            execution=execution,
+        )
         # Candidate branches identified by endpoints (ids churn on edits).
         candidates = [(e.u, e.v) for e in tree.edges]
         placements: list[Placement] = []
-        for u, v in candidates:
-            eid = tree.find_edge(u, v)
-            label = _edge_label(tree, eid)
-            leaf, mid, pend = tree.attach_leaf(eid, name, pendant_length=0.1)
-            sumbuf = engine.edge_sum_buffer(pend)
-            t = 0.1
-            for _ in range(newton_iterations):
-                _, d1, d2 = engine.branch_derivatives(sumbuf, t)
-                if d2 >= 0 or abs(d1) < 1e-9:
-                    break
-                t = float(np.clip(t - d1 / d2, 1e-8, 50.0))
-            tree.edge(pend).length = t
-            lnl = engine.log_likelihood(pend)
-            placements.append(
-                Placement(edge_label=label, log_likelihood=lnl, pendant_length=t)
-            )
-            # detach the query again
-            tree.remove_edge(pend)
-            tree.remove_node(leaf)
-            tree.suppress_node(mid)
+        try:
+            for u, v in candidates:
+                eid = tree.find_edge(u, v)
+                label = _edge_label(tree, eid)
+                leaf, mid, pend = tree.attach_leaf(eid, name, pendant_length=0.1)
+                sumbuf = engine.edge_sum_buffer(pend)
+                t = 0.1
+                for _ in range(newton_iterations):
+                    _, d1, d2 = engine.branch_derivatives(sumbuf, t)
+                    if d2 >= 0 or abs(d1) < 1e-9:
+                        break
+                    t = float(np.clip(t - d1 / d2, 1e-8, 50.0))
+                tree.edge(pend).length = t
+                lnl = engine.log_likelihood(pend)
+                placements.append(
+                    Placement(edge_label=label, log_likelihood=lnl, pendant_length=t)
+                )
+                # detach the query again
+                tree.remove_edge(pend)
+                tree.remove_node(leaf)
+                tree.suppress_node(mid)
+        finally:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
         placements.sort(key=lambda p: p.log_likelihood, reverse=True)
         placements = placements[:keep_best]
         # likelihood weight ratios over the reported set

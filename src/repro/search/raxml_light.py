@@ -97,6 +97,14 @@ class SearchResult:
         return self.tree.to_newick()
 
 
+def _close_engine(engine) -> None:
+    """Release pool/arena resources held by parallel engines (no-op
+    for the serial engines, which own nothing beyond numpy arrays)."""
+    close = getattr(engine, "close", None)
+    if callable(close):
+        close()
+
+
 class _Progress:
     """The driver's step clock: crash injection + periodic snapshots.
 
@@ -158,6 +166,8 @@ def ml_search(
     backend: str | KernelBackend | None = None,
     resume_from: Checkpoint | None = None,
     fault_plan: FaultPlan | None = None,
+    workers: int = 1,
+    execution: str = "simulated",
 ) -> SearchResult:
     """Run a complete maximum-likelihood tree search.
 
@@ -187,6 +197,14 @@ def ml_search(
         Active :class:`~repro.faults.FaultPlan`; the driver consults it
         once per completed step (``crash-at-step``) and hands it to the
         checkpoint writer (``crash-in-write``).
+    workers / execution:
+        ``workers > 1`` runs every likelihood evaluation of the search
+        on a :class:`~repro.parallel.forkjoin.ForkJoinEngine` with that
+        many site slices on the chosen substrate (``simulated``,
+        ``threads``, ``processes``).  The search trajectory is
+        bit-identical to the serial run for every worker count.  The
+        returned ``SearchResult.engine`` owns the pool — call its
+        ``close()`` when finished (the CLI does this automatically).
 
     Crash safety: with ``config.checkpoint_path`` set, a rotated atomic
     snapshot is written every ``checkpoint_every`` steps.  Any
@@ -219,7 +237,13 @@ def ml_search(
     spr_start_round = 0
     spr_start_radius_idx = 0
     if resume_from is not None:
-        engine = resume_engine(patterns, resume_from, backend=backend)
+        engine = resume_engine(
+            patterns,
+            resume_from,
+            backend=backend,
+            workers=workers,
+            execution=execution,
+        )
         tree = engine.tree
         stage = resume_from.stage or "start"
         resume_rank = STAGE_ORDER.get(stage, 0)
@@ -237,7 +261,15 @@ def ml_search(
         )
         for edge in tree.edges:
             edge.length = max(edge.length, 0.05)
-        engine = make_engine(patterns, tree, model, gamma, backend=backend)
+        engine = make_engine(
+            patterns,
+            tree,
+            model,
+            gamma,
+            backend=backend,
+            workers=workers,
+            execution=execution,
+        )
         first_step = 0
 
     progress = _Progress(engine, writer, fault_plan, first_step=first_step)
@@ -337,11 +369,18 @@ def ml_search(
         except InjectedCrash:
             # The simulated process is dead: no write (the rotation
             # already holds the last periodic snapshot), just propagate.
+            # Real worker pools are shut down — the *simulated* crash
+            # must not leak actual shared-memory segments.
+            _close_engine(engine)
             raise
         except FaultError:
             # Unrecoverable-but-anticipated fault: abort with a final
             # checkpoint so the run is restartable, then propagate.
             progress.emergency_write()
+            _close_engine(engine)
+            raise
+        except BaseException:
+            _close_engine(engine)
             raise
 
     return SearchResult(

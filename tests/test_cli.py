@@ -212,3 +212,85 @@ class TestFaultsCommand:
         assert "survived:      yes" in out
         assert "verify:        OK" in out
         assert "crash-at-step x1" in out
+
+
+class TestParallelFlags:
+    """PR 5: --workers/--exec on search and place, env-var defaults."""
+
+    def test_parser_accepts_parallel_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["search", "x.phy", "--workers", "3", "--exec", "processes"]
+        )
+        assert args.workers == 3
+        assert args.execution == "processes"
+        args = parser.parse_args(
+            ["place", "--reference", "r", "--tree", "t", "--queries", "q",
+             "--workers", "2", "--exec", "threads"]
+        )
+        assert args.workers == 2
+        assert args.execution == "threads"
+
+    def test_parser_rejects_unknown_exec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "x.phy", "--exec", "cuda"])
+
+    def test_env_vars_become_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        monkeypatch.setenv("REPRO_EXEC", "threads")
+        args = build_parser().parse_args(["search", "x.phy"])
+        assert args.workers == 5
+        assert args.execution == "threads"
+
+    def test_search_parallel_matches_serial(self, io_case, tmp_path, capsys):
+        _, sim, aln_path, *_ = io_case
+        out_a = tmp_path / "serial.nwk"
+        out_b = tmp_path / "parallel.nwk"
+        assert main([
+            "search", str(aln_path), "--out", str(out_a),
+            "--radius", "2", "--no-rates",
+        ]) == 0
+        lnl_a = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if "final lnL" in line
+        )
+        assert main([
+            "search", str(aln_path), "--out", str(out_b),
+            "--radius", "2", "--no-rates",
+            "--workers", "2", "--exec", "processes",
+        ]) == 0
+        captured = capsys.readouterr().out
+        lnl_b = next(
+            line for line in captured.splitlines() if "final lnL" in line
+        )
+        assert lnl_a == lnl_b  # printed likelihood identical digit-for-digit
+        assert out_a.read_text() == out_b.read_text()
+        assert "parallel: 2 workers" in captured
+        assert "parallel regions:" in captured
+        from repro.parallel import active_arena_segments
+
+        assert active_arena_segments() == []
+
+    def test_place_parallel_matches_serial(self, io_case, tmp_path, capsys):
+        _, sim, _, ref_path, tree_path, q_path, q = io_case
+        out_a = tmp_path / "a.jplace"
+        out_b = tmp_path / "b.jplace"
+        base = [
+            "place", "--reference", str(ref_path), "--tree", str(tree_path),
+            "--queries", str(q_path),
+        ]
+        assert main(base + ["--out", str(out_a)]) == 0
+        assert main(
+            base + ["--out", str(out_b), "--workers", "2", "--exec", "threads"]
+        ) == 0
+        assert (
+            json.loads(out_a.read_text())["placements"]
+            == json.loads(out_b.read_text())["placements"]
+        )
+
+    def test_backends_lists_parallel_defaults(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel execution:" in out
+        assert "simulated, threads, processes" in out
+        assert "REPRO_WORKERS" in out

@@ -156,3 +156,75 @@ class TestDistribution:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             distribute_block(10, 0)
+
+
+class TestDistributionEdgeCases:
+    """PR 5 satellites: empty slices and worker-surplus corner cases."""
+
+    @pytest.mark.parametrize("factory", [distribute_block, distribute_cyclic])
+    def test_zero_patterns_gives_all_empty(self, factory):
+        d = factory(0, 3)
+        assert d.per_worker_counts == [0, 0, 0]
+        assert all(len(a) == 0 for a in d.assignment)
+
+    @pytest.mark.parametrize("factory", [distribute_block, distribute_cyclic])
+    def test_more_workers_than_patterns(self, factory):
+        d = factory(3, 8)
+        assert sum(d.per_worker_counts) == 3
+        # the surplus workers hold empty, queryable slices
+        assert list(d.indices_of(7)) == []
+        seen = sorted(i for a in d.assignment for i in a)
+        assert seen == [0, 1, 2]
+
+    @pytest.mark.parametrize("factory", [distribute_block, distribute_cyclic])
+    def test_single_worker_owns_everything(self, factory):
+        d = factory(17, 1)
+        assert list(d.indices_of(0)) == list(range(17))
+
+    def test_block_slices_are_contiguous(self):
+        d = distribute_block(103, 7)
+        for w in range(7):
+            idx = d.indices_of(w)
+            if len(idx):
+                assert list(idx) == list(range(idx[0], idx[-1] + 1))
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestDistributionProperties:
+    """Every distribution is a partition: disjoint, complete, balanced."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_patterns=st.integers(min_value=0, max_value=500),
+        n_workers=st.integers(min_value=1, max_value=40),
+        scheme=st.sampled_from(["block", "cyclic"]),
+    )
+    def test_partition_property(self, n_patterns, n_workers, scheme):
+        factory = distribute_block if scheme == "block" else distribute_cyclic
+        d = factory(n_patterns, n_workers)
+        chunks = [list(d.indices_of(w)) for w in range(n_workers)]
+        flat = [i for c in chunks for i in c]
+        # disjoint + complete
+        assert sorted(flat) == list(range(n_patterns))
+        assert len(set(flat)) == len(flat)
+        counts = [len(c) for c in chunks]
+        if scheme == "cyclic":
+            # cyclic dealing is balanced to within one site
+            assert max(counts) - min(counts) <= 1
+        else:
+            # ceil-sized blocks: no worker exceeds ceil(n/p), and every
+            # non-empty chunk is a contiguous index range
+            ceil = -(-n_patterns // n_workers)
+            assert max(counts, default=0) <= ceil
+            for c in chunks:
+                if c:
+                    assert c == list(range(c[0], c[-1] + 1))
