@@ -58,7 +58,12 @@ from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
 from . import kernels
 from .scaling import LOG_SCALE_STEP, rescale_clv
-from .traversal import KernelCounters, KernelKind
+from .traversal import (
+    PAPER_KERNEL_KEYS,
+    KernelCounters,
+    KernelKind,
+    merged_kernel_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..phylo.alignment import PatternAlignment
@@ -85,8 +90,6 @@ __all__ = [
 #: Environment variable naming the default backend for engines built
 #: without an explicit one (e.g. ``REPRO_BACKEND=shadow pytest``).
 DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
-
-_PAPER_KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
 
 
 # ----------------------------------------------------------------------
@@ -124,7 +127,7 @@ def _observe_kernel(
     reg.counter(
         "repro_kernel_dispatch_total", "PLF kernel dispatches"
     ).inc()
-    key = "newview" if kind.newview_like else kind.value
+    key = merged_kernel_key(kind)
     reg.histogram(
         "repro_kernel_seconds_" + key,
         f"wall seconds per {key} dispatch",
@@ -207,21 +210,25 @@ class KernelProfile(KernelCounters):
         }
         return p
 
-    # -- aggregation to the paper's four kernel names ------------------
+    # -- aggregation to the merged kernel names ------------------------
     def merged_seconds(self) -> dict[str, float]:
-        """Wall seconds aggregated to the paper's four kernels."""
-        out = {k: 0.0 for k in _PAPER_KERNELS}
+        """Wall seconds aggregated to the merged kernel names.
+
+        Like :meth:`KernelCounters.merged`, seeded with the paper's four
+        families only; up-sweep families appear once observed.
+        """
+        out = {k: 0.0 for k in PAPER_KERNEL_KEYS}
         for kind, s in self.seconds.items():
-            key = "newview" if kind.newview_like else kind.value
-            out[key] += s
+            key = merged_kernel_key(kind)
+            out[key] = out.get(key, 0.0) + s
         return out
 
     def merged_bytes(self) -> dict[str, int]:
-        """Bytes moved aggregated to the paper's four kernels."""
-        out = {k: 0 for k in _PAPER_KERNELS}
+        """Bytes moved aggregated like :meth:`merged_seconds`."""
+        out = {k: 0 for k in PAPER_KERNEL_KEYS}
         for kind, b in self.bytes_moved.items():
-            key = "newview" if kind.newview_like else kind.value
-            out[key] += b
+            key = merged_kernel_key(kind)
+            out[key] = out.get(key, 0) + b
         return out
 
     def seconds_per_site_unit(self) -> dict[str, float]:
@@ -329,6 +336,53 @@ class KernelBackend(Protocol):
     def derivative_core(
         self,
         sumbuf: np.ndarray,
+        eigenvalues: np.ndarray,
+        rates: np.ndarray,
+        rate_weights: np.ndarray,
+        t: float,
+        pattern_weights: np.ndarray,
+    ) -> tuple[float, float, float]: ...
+
+    # -- bidirectional-plan kernels (gradient up-sweep) ----------------
+    # Pre-order partials share the newview signatures (the arithmetic is
+    # identical; only the counted KernelKind differs), and the fused
+    # edge-gradient kernel replaces a derivativeSum + derivativeCore
+    # pair.  Engines fall back to the newview / derivative kernels when
+    # a third-party backend predates these methods.
+    def preorder_tip_tip(
+        self,
+        u_inv: np.ndarray,
+        lookup1: np.ndarray,
+        codes1: np.ndarray,
+        lookup2: np.ndarray,
+        codes2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def preorder_tip_inner(
+        self,
+        u_inv: np.ndarray,
+        lookup1: np.ndarray,
+        codes1: np.ndarray,
+        a2: np.ndarray,
+        z2: np.ndarray,
+        scale2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def preorder_inner_inner(
+        self,
+        u_inv: np.ndarray,
+        a1: np.ndarray,
+        a2: np.ndarray,
+        z1: np.ndarray,
+        z2: np.ndarray,
+        scale1: np.ndarray,
+        scale2: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def edge_gradient(
+        self,
+        z_top: np.ndarray,
+        z_bottom: np.ndarray,
         eigenvalues: np.ndarray,
         rates: np.ndarray,
         rate_weights: np.ndarray,
@@ -457,6 +511,66 @@ class ReferenceBackend(_BackendBase):
         )
         return out
 
+    # -- bidirectional-plan kernels ------------------------------------
+    def preorder_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_tip_tip(u_inv, lookup1, codes1, lookup2, codes2)
+        self._finish(
+            KernelKind.PREORDER_TIP_TIP, z.shape[0], t0,
+            lookup1, lookup2, codes1, codes2, z, sc,
+        )
+        return z, sc
+
+    def preorder_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_tip_inner(u_inv, lookup1, codes1, a2, z2, scale2)
+        self._finish(
+            KernelKind.PREORDER_TIP_INNER, z.shape[0], t0,
+            lookup1, codes1, a2, z2, scale2, z, sc,
+        )
+        return z, sc
+
+    def preorder_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        z, sc = kernels.newview_inner_inner(u_inv, a1, a2, z1, z2, scale1, scale2)
+        self._finish(
+            KernelKind.PREORDER_INNER_INNER, z.shape[0], t0,
+            a1, a2, z1, z2, scale1, scale2, z, sc,
+        )
+        return z, sc
+
+    def edge_gradient(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        out = kernels.edge_gradient(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        self._finish(
+            KernelKind.EDGE_GRADIENT, z_top.shape[0], t0,
+            z_top, z_bottom, pattern_weights,
+        )
+        return out
+
+    def edge_gradient_terms(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t
+    ):
+        """Site phase of the fused gradient kernel (per-pattern terms).
+
+        The parallel mirror of :meth:`edge_gradient`: workers compute
+        their slice's terms, the master gathers in pattern order and
+        reduces (:func:`kernels.derivative_reduce`) — bit-identical to
+        the sequential fused kernel.
+        """
+        t0 = time.perf_counter()
+        out = kernels.edge_gradient_terms(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t
+        )
+        self._finish(
+            KernelKind.EDGE_GRADIENT, z_top.shape[0], t0, z_top, z_bottom, *out
+        )
+        return out
+
 
 # ----------------------------------------------------------------------
 # blocked backend (Sec. V-B cache blocking)
@@ -516,82 +630,122 @@ class BlockedBackend(_BackendBase):
             yield start, min(start + b, n)
 
     # -- newview -------------------------------------------------------
-    def newview_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
-        t0 = time.perf_counter()
+    # The chunked arithmetic lives in private ``_*_impl`` helpers so the
+    # pre-order partial kernels (identical math, different KernelKind)
+    # share code and scratch with the post-order ones.
+    def _tip_tip_impl(self, u_inv, lookup1, codes1, lookup2, codes2):
         p = codes1.shape[0]
         c, _, k = lookup1.shape
         if p <= self.block_sites:
-            z, sc = kernels.newview_tip_tip(
+            return kernels.newview_tip_tip(
                 u_inv, lookup1, codes1, lookup2, codes2
             )
-        else:
-            z = np.empty((p, c, k))
-            w1 = self._buf("w1", (self.block_sites, c, k))
-            for start, stop in self._chunks(p):
-                n = stop - start
-                v = w1[:n]
-                np.copyto(
-                    v, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
-                )
-                v *= lookup2[:, codes2[start:stop], :].transpose(1, 0, 2)
-                np.einsum("ki,pci->pck", u_inv, v, out=z[start:stop])
-            sc = np.zeros(p, dtype=np.int64)
+        z = np.empty((p, c, k))
+        w1 = self._buf("w1", (self.block_sites, c, k))
+        for start, stop in self._chunks(p):
+            n = stop - start
+            v = w1[:n]
+            np.copyto(
+                v, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
+            )
+            v *= lookup2[:, codes2[start:stop], :].transpose(1, 0, 2)
+            np.einsum("ki,pci->pck", u_inv, v, out=z[start:stop])
+        sc = np.zeros(p, dtype=np.int64)
+        return z, sc
+
+    def _tip_inner_impl(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        p, c, k = z2.shape
+        if p <= self.block_sites:
+            return kernels.newview_tip_inner(
+                u_inv, lookup1, codes1, a2, z2, scale2
+            )
+        z = np.empty((p, c, k))
+        sc = scale2.copy()
+        w1 = self._buf("w1", (self.block_sites, c, k))
+        w2 = self._buf("w2", (self.block_sites, c, k))
+        for start, stop in self._chunks(p):
+            n = stop - start
+            v1, v2 = w1[:n], w2[:n]
+            np.copyto(
+                v1, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
+            )
+            np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
+            v1 *= v2
+            np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
+        rescale_clv(z, sc)
+        return z, sc
+
+    def _inner_inner_impl(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        p, c, k = z1.shape
+        if p <= self.block_sites:
+            return kernels.newview_inner_inner(
+                u_inv, a1, a2, z1, z2, scale1, scale2
+            )
+        z = np.empty((p, c, k))
+        sc = scale1 + scale2
+        w1 = self._buf("w1", (self.block_sites, c, k))
+        w2 = self._buf("w2", (self.block_sites, c, k))
+        for start, stop in self._chunks(p):
+            n = stop - start
+            v1, v2 = w1[:n], w2[:n]
+            np.einsum("cik,pck->pci", a1, z1[start:stop], out=v1)
+            np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
+            v1 *= v2
+            np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
+        rescale_clv(z, sc)
+        return z, sc
+
+    def newview_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        z, sc = self._tip_tip_impl(u_inv, lookup1, codes1, lookup2, codes2)
         self._finish(
-            KernelKind.NEWVIEW_TIP_TIP, p, t0,
+            KernelKind.NEWVIEW_TIP_TIP, codes1.shape[0], t0,
             lookup1, lookup2, codes1, codes2, z, sc,
         )
         return z, sc
 
     def newview_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
         t0 = time.perf_counter()
-        p, c, k = z2.shape
-        if p <= self.block_sites:
-            z, sc = kernels.newview_tip_inner(
-                u_inv, lookup1, codes1, a2, z2, scale2
-            )
-        else:
-            z = np.empty((p, c, k))
-            sc = scale2.copy()
-            w1 = self._buf("w1", (self.block_sites, c, k))
-            w2 = self._buf("w2", (self.block_sites, c, k))
-            for start, stop in self._chunks(p):
-                n = stop - start
-                v1, v2 = w1[:n], w2[:n]
-                np.copyto(
-                    v1, lookup1[:, codes1[start:stop], :].transpose(1, 0, 2)
-                )
-                np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
-                v1 *= v2
-                np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
-            rescale_clv(z, sc)
+        z, sc = self._tip_inner_impl(u_inv, lookup1, codes1, a2, z2, scale2)
         self._finish(
-            KernelKind.NEWVIEW_TIP_INNER, p, t0,
+            KernelKind.NEWVIEW_TIP_INNER, z2.shape[0], t0,
             lookup1, codes1, a2, z2, scale2, z, sc,
         )
         return z, sc
 
     def newview_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
         t0 = time.perf_counter()
-        p, c, k = z1.shape
-        if p <= self.block_sites:
-            z, sc = kernels.newview_inner_inner(
-                u_inv, a1, a2, z1, z2, scale1, scale2
-            )
-        else:
-            z = np.empty((p, c, k))
-            sc = scale1 + scale2
-            w1 = self._buf("w1", (self.block_sites, c, k))
-            w2 = self._buf("w2", (self.block_sites, c, k))
-            for start, stop in self._chunks(p):
-                n = stop - start
-                v1, v2 = w1[:n], w2[:n]
-                np.einsum("cik,pck->pci", a1, z1[start:stop], out=v1)
-                np.einsum("cik,pck->pci", a2, z2[start:stop], out=v2)
-                v1 *= v2
-                np.einsum("ki,pci->pck", u_inv, v1, out=z[start:stop])
-            rescale_clv(z, sc)
+        z, sc = self._inner_inner_impl(u_inv, a1, a2, z1, z2, scale1, scale2)
         self._finish(
-            KernelKind.NEWVIEW_INNER_INNER, p, t0,
+            KernelKind.NEWVIEW_INNER_INNER, z1.shape[0], t0,
+            a1, a2, z1, z2, scale1, scale2, z, sc,
+        )
+        return z, sc
+
+    # -- pre-order partials (gradient up-sweep) ------------------------
+    def preorder_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        z, sc = self._tip_tip_impl(u_inv, lookup1, codes1, lookup2, codes2)
+        self._finish(
+            KernelKind.PREORDER_TIP_TIP, codes1.shape[0], t0,
+            lookup1, lookup2, codes1, codes2, z, sc,
+        )
+        return z, sc
+
+    def preorder_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        z, sc = self._tip_inner_impl(u_inv, lookup1, codes1, a2, z2, scale2)
+        self._finish(
+            KernelKind.PREORDER_TIP_INNER, z2.shape[0], t0,
+            lookup1, codes1, a2, z2, scale2, z, sc,
+        )
+        return z, sc
+
+    def preorder_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        z, sc = self._inner_inner_impl(u_inv, a1, a2, z1, z2, scale1, scale2)
+        self._finish(
+            KernelKind.PREORDER_INNER_INNER, z1.shape[0], t0,
             a1, a2, z1, z2, scale1, scale2, z, sc,
         )
         return z, sc
@@ -620,23 +774,35 @@ class BlockedBackend(_BackendBase):
         are returned in call order.
         """
         results: list = [None] * len(calls)
-        groups: dict[tuple[int, int, int], list[int]] = {}
+        groups: dict[tuple, list[int]] = {}
         for i, call in enumerate(calls):
-            if call.kind is KernelKind.NEWVIEW_TIP_TIP:
+            case = call.kind.value.rsplit("_", 2)  # ("newview"|"preorder", x, y)
+            if case[-2:] == ["tip", "tip"]:
                 u_inv, lut1, codes1, lut2, codes2 = call.args
                 m1, m2 = lut1.shape[1], lut2.shape[1]
                 if m1 * m2 <= self.pair_table_max and codes1.shape[0] >= m1 * m2:
                     groups.setdefault(
-                        (id(u_inv), id(lut1), id(lut2)), []
+                        (call.kind, id(u_inv), id(lut1), id(lut2)), []
                     ).append(i)
-                    continue
-            if call.kind is KernelKind.NEWVIEW_TIP_TIP:
-                results[i] = self.newview_tip_tip(*call.args)
-            elif call.kind is KernelKind.NEWVIEW_TIP_INNER:
-                results[i] = self.newview_tip_inner(*call.args)
+                else:
+                    results[i] = (
+                        self.newview_tip_tip(*call.args)
+                        if call.kind is KernelKind.NEWVIEW_TIP_TIP
+                        else self.preorder_tip_tip(*call.args)
+                    )
+            elif case[-1] == "inner" and case[-2] == "tip":
+                results[i] = (
+                    self.newview_tip_inner(*call.args)
+                    if call.kind is KernelKind.NEWVIEW_TIP_INNER
+                    else self.preorder_tip_inner(*call.args)
+                )
             else:
-                results[i] = self.newview_inner_inner(*call.args)
-        for idxs in groups.values():
+                results[i] = (
+                    self.newview_inner_inner(*call.args)
+                    if call.kind is KernelKind.NEWVIEW_INNER_INNER
+                    else self.preorder_inner_inner(*call.args)
+                )
+        for (kind, *_ids), idxs in groups.items():
             u_inv, lut1, _, lut2, _ = calls[idxs[0]].args
             t_table0 = time.perf_counter()
             # (c, m, n, i): (l1 * l2) exactly as the per-op kernels
@@ -654,14 +820,14 @@ class BlockedBackend(_BackendBase):
                     elapsed += table_s
                 nbytes = codes1.nbytes + codes2.nbytes + z.nbytes + sc.nbytes
                 self.profile.record_timed(
-                    KernelKind.NEWVIEW_TIP_TIP,
+                    kind,
                     codes1.shape[0],
                     elapsed,
                     nbytes,
                 )
                 if _obs.ENABLED:
                     _observe_kernel(
-                        KernelKind.NEWVIEW_TIP_TIP,
+                        kind,
                         self.name,
                         codes1.shape[0],
                         t_table0 if j == 0 else t0,
@@ -796,6 +962,75 @@ class BlockedBackend(_BackendBase):
         out = kernels.derivative_reduce(l0, l1, l2, pattern_weights)
         self._finish(
             KernelKind.DERIVATIVE_CORE, p, t0, sumbuf, pattern_weights
+        )
+        return out
+
+    # -- fused edge gradient (up-sweep) --------------------------------
+    def _gradient_site_terms(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t
+    ):
+        """Chunked fused ``(z_top * z_bottom)`` product + site terms.
+
+        The element-wise CLA product never materialises at full width:
+        each chunk's product lands in scratch and is contracted against
+        the same ``m0/m1/m2`` factor matrices the reference kernel uses,
+        so per-site values are bit-identical to
+        :func:`kernels.edge_gradient_terms`.
+        """
+        p = np.broadcast_shapes(z_top.shape, z_bottom.shape)[0]
+        if p <= self.block_sites:
+            return kernels.edge_gradient_terms(
+                z_top, z_bottom, eigenvalues, rates, rate_weights, t
+            )
+        _, c, k = np.broadcast_shapes(z_top.shape, z_bottom.shape)
+        g = np.multiply.outer(
+            np.asarray(rates, dtype=np.float64), eigenvalues
+        )  # (c, k)
+        e = np.exp(g * t)
+        wc = rate_weights[:, None]
+        m0 = wc * e
+        m1 = m0 * g
+        m2 = m1 * g
+        l0 = np.empty(p)
+        l1 = np.empty(p)
+        l2 = np.empty(p)
+        tmp = self._buf("eg", (min(self.block_sites, p), c, k))
+        direct = np.broadcast_shapes(z_top.shape, z_bottom.shape) == z_top.shape == z_bottom.shape
+        for start, stop in self._chunks(p):
+            n = stop - start
+            v = tmp[:n]
+            if direct:
+                np.multiply(z_top[start:stop], z_bottom[start:stop], out=v)
+            else:  # a tip side broadcasts its length-1 rate axis
+                v[:] = z_top[start:stop] * z_bottom[start:stop]
+            np.einsum("pck,ck->p", v, m0, out=l0[start:stop])
+            np.einsum("pck,ck->p", v, m1, out=l1[start:stop])
+            np.einsum("pck,ck->p", v, m2, out=l2[start:stop])
+        return l0, l1, l2
+
+    def edge_gradient(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        l0, l1, l2 = self._gradient_site_terms(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t
+        )
+        out = kernels.derivative_reduce(l0, l1, l2, pattern_weights)
+        self._finish(
+            KernelKind.EDGE_GRADIENT, l0.shape[0], t0,
+            z_top, z_bottom, pattern_weights,
+        )
+        return out
+
+    def edge_gradient_terms(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t
+    ):
+        t0 = time.perf_counter()
+        out = self._gradient_site_terms(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t
+        )
+        self._finish(
+            KernelKind.EDGE_GRADIENT, out[0].shape[0], t0, z_top, z_bottom, *out
         )
         return out
 
@@ -969,6 +1204,74 @@ class ShadowBackend(_BackendBase):
             self._check_arrays("derivative_site_terms", ap, ar, name)
         self.checks += 1
         self._finish(KernelKind.DERIVATIVE_CORE, sumbuf.shape[0], t0)
+        return tp
+
+    # -- bidirectional-plan kernels ------------------------------------
+    def preorder_tip_tip(self, u_inv, lookup1, codes1, lookup2, codes2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.preorder_tip_tip(
+            u_inv, lookup1, codes1, lookup2, codes2
+        )
+        zr, scr = self.reference.preorder_tip_tip(
+            u_inv, lookup1, codes1, lookup2, codes2
+        )
+        self._check_newview("preorder_tip_tip", zp, scp, zr, scr)
+        self._finish(KernelKind.PREORDER_TIP_TIP, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def preorder_tip_inner(self, u_inv, lookup1, codes1, a2, z2, scale2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.preorder_tip_inner(
+            u_inv, lookup1, codes1, a2, z2, scale2
+        )
+        zr, scr = self.reference.preorder_tip_inner(
+            u_inv, lookup1, codes1, a2, z2, scale2
+        )
+        self._check_newview("preorder_tip_inner", zp, scp, zr, scr)
+        self._finish(KernelKind.PREORDER_TIP_INNER, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def preorder_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        t0 = time.perf_counter()
+        zp, scp = self.primary.preorder_inner_inner(
+            u_inv, a1, a2, z1, z2, scale1, scale2
+        )
+        zr, scr = self.reference.preorder_inner_inner(
+            u_inv, a1, a2, z1, z2, scale1, scale2
+        )
+        self._check_newview("preorder_inner_inner", zp, scp, zr, scr)
+        self._finish(KernelKind.PREORDER_INNER_INNER, zp.shape[0], t0, zp, scp)
+        return zp, scp
+
+    def edge_gradient(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+    ):
+        t0 = time.perf_counter()
+        dp = self.primary.edge_gradient(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        dr = self.reference.edge_gradient(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t, pattern_weights
+        )
+        self._check_scalars("edge_gradient", dp, dr, "derivatives")
+        self.checks += 1
+        self._finish(KernelKind.EDGE_GRADIENT, z_top.shape[0], t0)
+        return dp
+
+    def edge_gradient_terms(
+        self, z_top, z_bottom, eigenvalues, rates, rate_weights, t
+    ):
+        t0 = time.perf_counter()
+        tp = self.primary.edge_gradient_terms(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t
+        )
+        tr = self.reference.edge_gradient_terms(
+            z_top, z_bottom, eigenvalues, rates, rate_weights, t
+        )
+        for name, ap, ar in zip(("l0", "l1", "l2"), tp, tr):
+            self._check_arrays("edge_gradient_terms", ap, ar, name)
+        self.checks += 1
+        self._finish(KernelKind.EDGE_GRADIENT, tp[0].shape[0], t0)
         return tp
 
 

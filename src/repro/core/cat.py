@@ -181,7 +181,7 @@ class CatLikelihoodEngine(LikelihoodEngine):
     # ------------------------------------------------------------------
     # kernels
     # ------------------------------------------------------------------
-    def _run_ops(self, ops, *, batch: bool = True) -> None:  # noqa: ARG002
+    def _run_newview_ops(self, ops, *, batch: bool = True) -> None:  # noqa: ARG002
         """CAT ``newview`` for one wave of independent ops.
 
         The per-site branch tables bypass the backend kernels, so there
@@ -222,6 +222,61 @@ class CatLikelihoodEngine(LikelihoodEngine):
             if op.kind is not KernelKind.NEWVIEW_TIP_TIP:
                 rescale_clv(z_out, sc)
             self._store_op(op, z_out, sc)
+
+    def _run_preorder_ops(self, ops, *, batch: bool = True) -> None:  # noqa: ARG002
+        """CAT pre-order partials (same per-site math as the newview path)."""
+        tree = self.tree
+        for op in ops:
+            if op.across_is_partial:
+                z1, sc1 = self._pre[op.up_edge]
+                w1 = np.einsum(
+                    "pik,pk->pi", self._site_a(op.up_edge), z1[:, 0, :]
+                )
+                sc = sc1.copy()
+            elif tree.is_leaf(op.across):
+                w1 = self._site_tip_lookup(
+                    op.up_edge, self._tip_codes[tree.name(op.across)]
+                )
+                sc = np.zeros(self.patterns.n_patterns, dtype=np.int64)
+            else:
+                z1, sc1 = self._clas[op.across]
+                w1 = np.einsum(
+                    "pik,pk->pi", self._site_a(op.up_edge), z1[:, 0, :]
+                )
+                sc = sc1.copy()
+            if tree.is_leaf(op.sibling):
+                w2 = self._site_tip_lookup(
+                    op.sibling_edge, self._tip_codes[tree.name(op.sibling)]
+                )
+            else:
+                z2, sc2 = self._clas[op.sibling]
+                w2 = np.einsum(
+                    "pik,pk->pi", self._site_a(op.sibling_edge), z2[:, 0, :]
+                )
+                sc = sc + sc2
+            v = w1 * w2
+            z_out = (v @ self.eigen.u_inv.T)[:, None, :]
+            if op.kind is not KernelKind.PREORDER_TIP_TIP:
+                rescale_clv(z_out, sc)
+            self._store_preorder_op(op, z_out, sc)
+
+    def _edge_gradient_site_terms(self, z_top, z_bottom, t):
+        """CAT per-pattern gradient terms (per-site rates, no categories)."""
+        sumbuf = (z_top * z_bottom)[:, 0, :]
+        g = self.site_rates[:, None] * self.eigen.eigenvalues[None, :]
+        e = np.exp(g * t)
+        l0 = (sumbuf * e).sum(axis=1)
+        l1 = (sumbuf * g * e).sum(axis=1)
+        l2 = (sumbuf * g * g * e).sum(axis=1)
+        return l0, l1, l2
+
+    def _edge_gradient(self, z_top, z_bottom, scales, t):  # noqa: ARG002
+        from .kernels import derivative_reduce
+
+        return derivative_reduce(
+            *self._edge_gradient_site_terms(z_top, z_bottom, t),
+            self.patterns.weights,
+        )
 
     # ------------------------------------------------------------------
     # root-level quantities

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -35,12 +37,17 @@ from . import kernels
 from .backends import KernelBackend, KernelProfile, get_backend
 from .schedule import NewviewCall, PlanExecutor, WaveStats, dispatch_wave
 from .traversal import (
+    EdgeGradientOp,
     ExecutionPlan,
+    GradientDescriptor,
+    GradientPlan,
     KernelCounters,
     KernelKind,
     NewviewOp,
+    PreorderOp,
     TraversalDescriptor,
     levelize,
+    levelize_upsweep,
 )
 
 __all__ = ["LikelihoodEngine"]
@@ -93,6 +100,14 @@ class LikelihoodEngine:
         self._model_version = 0
         self._clas: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._valid: dict[int, tuple[int, object]] = {}  # node -> (edge, signature)
+        #: Pre-order partials of the current gradient up-sweep, keyed by
+        #: edge id.  Unlike post-order CLAs these have no cross-call
+        #: validity tracking: a partial depends on the *entire* rest of
+        #: the tree, so the dict lives only for the duration of one
+        #: :meth:`all_branch_gradients` call.
+        self._pre: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._grad: dict[int, tuple[float, float]] = {}
+        self._grad_terms: "dict[int, tuple] | None" = None
         self._tip_codes: dict[str, np.ndarray] = {
             name: patterns.row(name) for name in patterns.taxa
         }
@@ -273,12 +288,280 @@ class LikelihoodEngine:
         self._valid[op.node] = (op.up_edge, self._last_sigs[(op.node, op.up_edge)])
         self.counters.record(op.kind, self.patterns.n_patterns)
 
-    def _run_ops(self, ops: tuple[NewviewOp, ...], *, batch: bool = True) -> None:
-        """Prepare, dispatch and store one wave of independent ops."""
+    def _run_ops(self, ops: tuple, *, batch: bool = True) -> None:
+        """Prepare, dispatch and store one wave of independent ops.
+
+        Down-sweep waves hold :class:`NewviewOp` only; gradient up-sweep
+        waves may mix :class:`PreorderOp` partials with the
+        :class:`EdgeGradientOp` reductions they unblock.  The wave is
+        partitioned by op class and each group dispatched through its own
+        path (partials batch exactly like ``newview``; gradients are
+        per-edge scalar reductions).
+        """
+        nv = tuple(op for op in ops if isinstance(op, NewviewOp))
+        pre = tuple(op for op in ops if isinstance(op, PreorderOp))
+        grad = tuple(op for op in ops if isinstance(op, EdgeGradientOp))
+        if nv:
+            self._run_newview_ops(nv, batch=batch)
+        if pre:
+            self._run_preorder_ops(pre, batch=batch)
+        if grad:
+            self._run_gradient_ops(grad)
+
+    def _run_newview_ops(
+        self, ops: tuple[NewviewOp, ...], *, batch: bool = True
+    ) -> None:
         calls = [self._prepare_op(op) for op in ops]
         results = dispatch_wave(self.backend, calls, batch=batch)
         for op, (z, sc) in zip(ops, results):
             self._store_op(op, z, sc)
+
+    # ------------------------------------------------------------------
+    # gradient up-sweep (pre-order partials + per-edge gradients)
+    # ------------------------------------------------------------------
+    def _prepare_preorder_op(self, op: PreorderOp) -> NewviewCall:
+        """Resolve one pre-order partial into a ready backend call.
+
+        The partial for edge ``e = (node -> child)`` is a ``newview`` at
+        ``node`` combining (a) everything *across* the node's own up
+        edge — the parent's partial when one exists, else the CLA/tip on
+        the far side of the virtual root — and (b) the sibling subtree.
+        Waves run in up-sweep level order, so the parent partial is
+        already in ``self._pre`` by the time this op prepares.
+        """
+        tree = self.tree
+        if op.across_is_partial:
+            z1, sc1 = self._pre[op.up_edge]
+            side1 = (self._branch_a(op.up_edge), z1, sc1)
+        elif tree.is_leaf(op.across):
+            side1 = (
+                self._tip_lookup(op.up_edge),
+                self._tip_codes[tree.name(op.across)],
+            )
+        else:
+            z1, sc1 = self._clas[op.across]
+            side1 = (self._branch_a(op.up_edge), z1, sc1)
+        if tree.is_leaf(op.sibling):
+            side2 = (
+                self._tip_lookup(op.sibling_edge),
+                self._tip_codes[tree.name(op.sibling)],
+            )
+        else:
+            z2, sc2 = self._clas[op.sibling]
+            side2 = (self._branch_a(op.sibling_edge), z2, sc2)
+        if op.kind is KernelKind.PREORDER_TIP_TIP:
+            args = (self.eigen.u_inv, *side1, *side2)
+        elif op.kind is KernelKind.PREORDER_TIP_INNER:
+            tip, inner = (side1, side2) if len(side1) == 2 else (side2, side1)
+            a, z, sc = inner
+            args = (self.eigen.u_inv, *tip, a, z, sc)
+        else:
+            a1, z1, sc1 = side1
+            a2, z2, sc2 = side2
+            args = (self.eigen.u_inv, a1, a2, z1, z2, sc1, sc2)
+        return NewviewCall(op=op, kind=op.kind, args=args)
+
+    def _store_preorder_op(
+        self, op: PreorderOp, z: np.ndarray, sc: np.ndarray
+    ) -> None:
+        """Commit one pre-order partial (hook for eviction-aware engines)."""
+        self._pre[op.edge] = (z, sc)
+        self.counters.record(op.kind, self.patterns.n_patterns)
+
+    def _run_preorder_ops(
+        self, ops: tuple[PreorderOp, ...], *, batch: bool = True
+    ) -> None:
+        calls = [self._prepare_preorder_op(op) for op in ops]
+        results = dispatch_wave(self.backend, calls, batch=batch)
+        for op, (z, sc) in zip(ops, results):
+            self._store_preorder_op(op, z, sc)
+
+    def _node_side(self, node: int) -> tuple[np.ndarray, "np.ndarray | int"]:
+        """``(z, scale)`` for one gradient operand: tip view or CLA."""
+        if self.tree.is_leaf(node):
+            codes = self._tip_codes[self.tree.name(node)]
+            return self._tip_eigen[codes][:, None, :], 0
+        return self._clas[node]
+
+    def _edge_gradient(
+        self,
+        z_top: np.ndarray,
+        z_bottom: np.ndarray,
+        scales: "np.ndarray | int",
+        t: float,
+    ) -> tuple[float, float, float]:
+        """Fused per-edge ``(lnL*, d1, d2)`` dispatch (overridable).
+
+        ``scales`` (combined scale counts of the two operands) is unused
+        here — the derivative ratios are scale-invariant — but engines
+        whose mixture needs true per-site likelihoods (+I) override this
+        hook and consume it.  Backends predating the fused kernel fall
+        back to the paper's ``derivativeSum`` + ``derivativeCore`` pair.
+        """
+        eg = getattr(self.backend, "edge_gradient", None)
+        if eg is None:
+            sumbuf = self.backend.derivative_sum(z_top, z_bottom)
+            return self.backend.derivative_core(
+                sumbuf,
+                self.eigen.eigenvalues,
+                self.rate_values,
+                self.rate_weights,
+                t,
+                self.patterns.weights,
+            )
+        return eg(
+            z_top,
+            z_bottom,
+            self.eigen.eigenvalues,
+            self.rate_values,
+            self.rate_weights,
+            t,
+            self.patterns.weights,
+        )
+
+    def _edge_gradient_site_terms(
+        self, z_top: np.ndarray, z_bottom: np.ndarray, t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pattern ``(l, l', l'')`` of one edge gradient (parallel path)."""
+        f = getattr(self.backend, "edge_gradient_terms", None)
+        if f is None:
+            sumbuf = self.backend.derivative_sum(z_top, z_bottom)
+            return kernels.derivative_site_terms(
+                sumbuf, self.eigen.eigenvalues, self.rate_values,
+                self.rate_weights, t,
+            )
+        return f(
+            z_top, z_bottom, self.eigen.eigenvalues, self.rate_values,
+            self.rate_weights, t,
+        )
+
+    def _run_gradient_ops(self, ops: tuple[EdgeGradientOp, ...]) -> None:
+        tree = self.tree
+        collect_terms = self._grad_terms is not None
+        for op in ops:
+            if op.top_is_partial:
+                z_t, sc_t = self._pre[op.edge]
+            else:
+                z_t, sc_t = self._node_side(op.top)
+            z_b, sc_b = self._node_side(op.bottom)
+            t = tree.edge(op.edge).length
+            if collect_terms:
+                self._grad_terms[op.edge] = self._edge_gradient_site_terms(
+                    z_t, z_b, t
+                )
+            else:
+                _, d1, d2 = self._edge_gradient(z_t, z_b, sc_t + sc_b, t)
+                self._grad[op.edge] = (d1, d2)
+            self.counters.record(
+                KernelKind.EDGE_GRADIENT, self.patterns.n_patterns
+            )
+
+    def plan_gradient(self, root_edge: int) -> GradientPlan:
+        """Plan the bidirectional traversal for all-branch gradients.
+
+        The down-sweep is the (signature-gated) post-order plan for the
+        virtual root; the up-sweep computes one pre-order partial per
+        directed non-root edge (``2N - 4`` of them) and one fused
+        gradient per branch (``2N - 3``) — O(N) kernel calls total,
+        against the O(N^2) of re-rooting ``derivativeSum`` at every
+        branch.
+        """
+        tree = self.tree
+        desc = GradientDescriptor(root_edge=root_edge)
+        edge = tree.edge(root_edge)
+        desc.grad_ops.append(
+            EdgeGradientOp(
+                edge=root_edge, top=edge.u, bottom=edge.v, top_is_partial=False
+            )
+        )
+        stack: list[tuple[int, int, int, bool]] = []
+        for node, other in ((edge.u, edge.v), (edge.v, edge.u)):
+            if not tree.is_leaf(node):
+                stack.append((node, root_edge, other, False))
+        while stack:
+            node, up_edge, across, across_partial = stack.pop()
+            (c1, e1), (c2, e2) = tree.children(node, up_edge)
+            for (child, eid), (sib, sib_eid) in (
+                ((c1, e1), (c2, e2)),
+                ((c2, e2), (c1, e1)),
+            ):
+                tips = int(not across_partial and tree.is_leaf(across))
+                tips += int(tree.is_leaf(sib))
+                kind = (
+                    KernelKind.PREORDER_TIP_TIP
+                    if tips == 2
+                    else KernelKind.PREORDER_TIP_INNER
+                    if tips == 1
+                    else KernelKind.PREORDER_INNER_INNER
+                )
+                desc.pre_ops.append(
+                    PreorderOp(
+                        edge=eid, node=node, up_edge=up_edge, across=across,
+                        across_is_partial=across_partial, sibling=sib,
+                        sibling_edge=sib_eid, kind=kind,
+                    )
+                )
+                desc.grad_ops.append(
+                    EdgeGradientOp(
+                        edge=eid, top=node, bottom=child, top_is_partial=True
+                    )
+                )
+                if not tree.is_leaf(child):
+                    stack.append((child, eid, node, True))
+        return GradientPlan(
+            root_edge=root_edge,
+            down=self.plan_execution(root_edge),
+            up=levelize_upsweep(desc),
+        )
+
+    def all_branch_gradients(
+        self, root_edge: int | None = None, *, terms: bool = False
+    ) -> dict[int, tuple]:
+        """First and second lnL derivatives of **every** branch at once.
+
+        One post-order down-sweep (reusing valid CLAs) plus one
+        pre-order up-sweep yields ``{edge_id: (d1, d2)}`` for all
+        ``2N - 3`` branches — the derivatives each match what
+        ``edge_sum_buffer`` + ``branch_derivatives`` computes per branch,
+        without re-rooting the traversal 2N - 3 times.
+
+        With ``terms=True`` the result is ``{edge_id: (l0, l1, l2)}``
+        per-pattern site terms instead — the form parallel drivers
+        gather from each worker's slice and reduce in fixed pattern
+        order (:func:`repro.core.kernels.derivative_reduce`) for
+        bit-identical serial/parallel agreement.
+        """
+        if root_edge is None:
+            root_edge = self.default_edge()
+        plan = self.plan_gradient(root_edge)
+        self._pre = {}
+        self._grad = {}
+        self._grad_terms = {} if terms else None
+        n_edges = sum(
+            1
+            for w in plan.up.waves
+            for op in w.ops
+            if isinstance(op, EdgeGradientOp)
+        )
+        with _obs.span(
+            "gradient.all_branches", edges=n_edges, up_waves=plan.up.depth
+        ):
+            self.executor.execute(plan.down)
+            self.executor.execute(plan.up)
+        if _obs.ENABLED:
+            reg = _obs_metrics.get_registry()
+            reg.counter(
+                "repro_gradient_sweeps_total",
+                "all-branch gradient up-sweeps",
+            ).inc()
+            reg.counter(
+                "repro_gradient_upsweep_waves_total",
+                "executed gradient up-sweep waves",
+            ).inc(plan.up.depth)
+        out = self._grad_terms if terms else self._grad
+        self._pre = {}  # partials are single-sweep; release the memory
+        self._grad_terms = None
+        return out
 
     def plan_execution(self, root_edge: int) -> ExecutionPlan:
         """Plan and levelize the traversal for ``root_edge``."""
@@ -473,6 +756,7 @@ class LikelihoodEngine:
         """Release all CLAs (memory-saving hook; they rebuild lazily)."""
         self._clas.clear()
         self._valid.clear()
+        self._pre.clear()
 
     def cla_memory_bytes(self) -> int:
         """Current CLA memory footprint (the paper's 8 GB-per-card concern)."""

@@ -104,6 +104,23 @@ class InvariantSitesEngine(LikelihoodEngine):
         self.counters.record(KernelKind.DERIVATIVE_SUM, self.patterns.n_patterns)
         return sumbuf, scales
 
+    def _edge_gradient(self, z_top, z_bottom, scales, t):
+        """Per-edge gradient under +I: reuse the mixture derivative math.
+
+        The combined scale counters of the two partials give the true
+        per-site Gamma magnitude the mixture weighting needs — which is
+        exactly why the gradient op threads ``scales`` through.
+        """
+        sumbuf = self.backend.derivative_sum(z_top, z_bottom)
+        return self.branch_derivatives((sumbuf, scales), t)
+
+    def _edge_gradient_site_terms(self, z_top, z_bottom, t):
+        raise NotImplementedError(
+            "+I all-branch gradients are serial-only: the invariant mixture "
+            "needs per-site scale counters, which the plain three-term "
+            "parallel reduction does not carry"
+        )
+
     def branch_derivatives(self, sumbuf_scales, t: float) -> tuple[float, float, float]:
         sumbuf, scales = sumbuf_scales
         g = np.multiply.outer(self.rate_values, self.eigen.eigenvalues)

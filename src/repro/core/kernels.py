@@ -59,6 +59,8 @@ __all__ = [
     "derivative_site_terms",
     "derivative_reduce",
     "derivative_core",
+    "edge_gradient_terms",
+    "edge_gradient",
     "site_log_likelihoods",
 ]
 
@@ -291,6 +293,52 @@ def derivative_site_terms(
     l1 = np.einsum("pck,ck->p", sumbuf, m1)
     l2 = np.einsum("pck,ck->p", sumbuf, m2)
     return l0, l1, l2
+
+
+def edge_gradient_terms(
+    z_top: np.ndarray,
+    z_bottom: np.ndarray,
+    eigenvalues: np.ndarray,
+    rates: np.ndarray,
+    rate_weights: np.ndarray,
+    t: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pattern ``(l, l', l'')`` for one edge of the gradient up-sweep.
+
+    Fuses ``derivativeSum`` with the site phase of ``derivativeCore``:
+    ``z_top`` is the pre-order partial of the edge (the tree above it)
+    and ``z_bottom`` the ordinary down CLA (the subtree below it), so the
+    element-wise product is exactly the branch's sum buffer.  Per-pattern
+    values are bitwise identical to ``derivative_site_terms(
+    derivative_sum(z_top, z_bottom), ...)`` — the product is formed with
+    the same operand order — which is what lets parallel engines gather
+    per-slice terms and reduce at the master bit-identically.
+    """
+    return derivative_site_terms(
+        z_top * z_bottom, eigenvalues, rates, rate_weights, t
+    )
+
+
+def edge_gradient(
+    z_top: np.ndarray,
+    z_bottom: np.ndarray,
+    eigenvalues: np.ndarray,
+    rates: np.ndarray,
+    rate_weights: np.ndarray,
+    t: float,
+    pattern_weights: np.ndarray,
+) -> tuple[float, float, float]:
+    """The fused per-edge gradient kernel: ``(lnL, dlnL/dt, d2lnL/dt2)``.
+
+    One invocation per branch during the up-sweep replaces the separate
+    ``derivativeSum`` + ``derivativeCore`` pair of the per-branch Newton
+    path.  As with :func:`derivative_core`, scaling counters cancel in
+    the log-derivatives and the returned ``lnL`` is unscaled.
+    """
+    l0, l1, l2 = edge_gradient_terms(
+        z_top, z_bottom, eigenvalues, rates, rate_weights, t
+    )
+    return derivative_reduce(l0, l1, l2, pattern_weights)
 
 
 def derivative_reduce(

@@ -36,7 +36,7 @@ from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
 from .backends import KernelBackend
 from .engine import LikelihoodEngine
-from .traversal import NewviewOp
+from .traversal import EdgeGradientOp, NewviewOp, PreorderOp
 
 __all__ = ["MemorySavingEngine"]
 
@@ -81,6 +81,12 @@ class MemorySavingEngine(LikelihoodEngine):
         self._pin_counts: dict[int, int] = {}
         self.recomputed_clas = 0  # extra newview work caused by eviction
         self._computed_once: set[int] = set()
+        # Pre-order partials share the CLA budget: their own LRU stamps,
+        # pins, and op descriptors (for eviction-driven recomputation).
+        self._pre_last_used: dict[int, int] = {}
+        self._pre_pin_counts: dict[int, int] = {}
+        self._pre_ops: dict[int, PreorderOp] = {}
+        self.recomputed_pre = 0  # extra pre-order work caused by eviction
         super().__init__(patterns, tree, model, rates, backend=backend)
 
     # ------------------------------------------------------------------
@@ -97,12 +103,31 @@ class MemorySavingEngine(LikelihoodEngine):
         else:
             self._pin_counts[node] = remaining
 
+    def _touch_pre(self, edge: int) -> None:
+        self._pre_last_used[edge] = next(self._clock)
+
+    def _pin_pre(self, edge: int) -> None:
+        self._pre_pin_counts[edge] = self._pre_pin_counts.get(edge, 0) + 1
+
+    def _unpin_pre(self, edge: int) -> None:
+        remaining = self._pre_pin_counts.get(edge, 0) - 1
+        if remaining <= 0:
+            self._pre_pin_counts.pop(edge, None)
+        else:
+            self._pre_pin_counts[edge] = remaining
+
     def _store_op(self, op: NewviewOp, z: np.ndarray, sc: np.ndarray) -> None:
         super()._store_op(op, z, sc)
         self._touch(op.node)
         self._computed_once.add(op.node)
 
-    def _run_ops(self, ops: tuple[NewviewOp, ...], *, batch: bool = True) -> None:
+    def _store_preorder_op(self, op, z: np.ndarray, sc: np.ndarray) -> None:
+        super()._store_preorder_op(op, z, sc)
+        self._touch_pre(op.edge)
+
+    def _run_newview_ops(
+        self, ops: tuple[NewviewOp, ...], *, batch: bool = True
+    ) -> None:
         """Wave execution with CLA slot recycling.
 
         A wave may be wider than the CLA budget, so it is processed in
@@ -134,11 +159,118 @@ class MemorySavingEngine(LikelihoodEngine):
                         self.recomputed_clas += 1
                         if _obs.ENABLED:
                             _note_recompute(op.node)
-                super()._run_ops(tuple(chunk), batch=batch)
+                super()._run_newview_ops(tuple(chunk), batch=batch)
             finally:
                 for node in pinned:
                     self._unpin(node)
             self._evict()
+
+    def _run_preorder_ops(self, ops: tuple[PreorderOp, ...], *, batch: bool = True) -> None:
+        """Up-sweep partials under the CLA budget.
+
+        Partials join the post-order CLAs in one shared eviction pool:
+        each sub-batch pins its operands (the parent's partial, the
+        across/sibling down CLAs — rematerialised if recycled) and its
+        fresh results, then releases them to the LRU sweep.
+        """
+        limit = max(1, self.max_resident // 3)
+        for start in range(0, len(ops), limit):
+            chunk = ops[start:start + limit]
+            pinned: list[int] = []
+            pinned_pre: list[int] = []
+            try:
+                for op in chunk:
+                    self._pre_ops[op.edge] = op
+                    if op.across_is_partial:
+                        self._materialize_pre(op.up_edge)
+                        self._pin_pre(op.up_edge)
+                        pinned_pre.append(op.up_edge)
+                    elif not self.tree.is_leaf(op.across):
+                        self._materialize(op.across, op.up_edge)
+                        self._pin(op.across)
+                        pinned.append(op.across)
+                    if not self.tree.is_leaf(op.sibling):
+                        self._materialize(op.sibling, op.sibling_edge)
+                        self._pin(op.sibling)
+                        pinned.append(op.sibling)
+                    self._pin_pre(op.edge)
+                    pinned_pre.append(op.edge)
+                super()._run_preorder_ops(tuple(chunk), batch=batch)
+            finally:
+                for node in pinned:
+                    self._unpin(node)
+                for edge in pinned_pre:
+                    self._unpin_pre(edge)
+            self._evict()
+
+    def _materialize_pre(self, edge: int) -> None:
+        """Rematerialise one (possibly evicted) pre-order partial.
+
+        Recursive toward the virtual root, mirroring :meth:`_materialize`
+        for post-order CLAs; each recomputation is a single per-op
+        dispatch with its operands pinned.
+        """
+        if edge in self._pre:
+            self._touch_pre(edge)
+            return
+        op = self._pre_ops[edge]
+        self.recomputed_pre += 1
+        if _obs.ENABLED:
+            _obs.instant("pre_recompute", edge=edge)
+            _obs_metrics.get_registry().counter(
+                "repro_pre_recomputes_total",
+                "extra pre-order dispatches caused by eviction",
+            ).inc()
+        self._pin_pre(edge)
+        pinned: list[int] = []
+        pinned_pre: list[int] = []
+        try:
+            if op.across_is_partial:
+                self._materialize_pre(op.up_edge)
+                self._pin_pre(op.up_edge)
+                pinned_pre.append(op.up_edge)
+            elif not self.tree.is_leaf(op.across):
+                self._materialize(op.across, op.up_edge)
+                self._pin(op.across)
+                pinned.append(op.across)
+            if not self.tree.is_leaf(op.sibling):
+                self._materialize(op.sibling, op.sibling_edge)
+                self._pin(op.sibling)
+                pinned.append(op.sibling)
+            LikelihoodEngine._run_preorder_ops(self, (op,), batch=False)
+            self._evict()
+        finally:
+            for node in pinned:
+                self._unpin(node)
+            for e in pinned_pre:
+                self._unpin_pre(e)
+            self._unpin_pre(edge)
+
+    def _run_gradient_ops(self, ops: tuple[EdgeGradientOp, ...]) -> None:
+        """Per-edge gradients with operand rematerialisation + pinning."""
+        for op in ops:
+            pinned: list[int] = []
+            pinned_pre: list[int] = []
+            try:
+                if op.top_is_partial:
+                    self._materialize_pre(op.edge)
+                    self._pin_pre(op.edge)
+                    pinned_pre.append(op.edge)
+                elif not self.tree.is_leaf(op.top):
+                    self._materialize(op.top, op.edge)
+                    self._pin(op.top)
+                    pinned.append(op.top)
+                if not self.tree.is_leaf(op.bottom):
+                    self._materialize(op.bottom, op.edge)
+                    self._pin(op.bottom)
+                    pinned.append(op.bottom)
+                super()._run_gradient_ops((op,))
+            finally:
+                for node in pinned:
+                    self._unpin(node)
+                for edge in pinned_pre:
+                    self._unpin_pre(edge)
+        self._evict()
 
     def ensure_valid(self, root_edge: int) -> None:
         """Execute the plan, pinning the two root CLAs against each other.
@@ -211,22 +343,37 @@ class MemorySavingEngine(LikelihoodEngine):
             self._unpin(node)
 
     def _evict(self) -> None:
-        """Drop least-recently-used CLAs beyond the budget.
+        """Drop least-recently-used buffers beyond the budget.
 
-        Pinned nodes are never evicted, so during deep recomputations the
-        cap is exceeded by at most the recursion path length (the
-        log-depth floor of the recomputation strategy).
+        Post-order CLAs and pre-order partials share one pool under the
+        same ``max_resident`` cap and one LRU clock.  Pinned entries are
+        never evicted, so during deep recomputations the cap is exceeded
+        by at most the recursion path length (the log-depth floor of the
+        recomputation strategy).
         """
-        while len(self._clas) > self.max_resident:
-            victims = [n for n in self._clas if n not in self._pin_counts]
+        while len(self._clas) + len(self._pre) > self.max_resident:
+            victims = [
+                ("cla", n) for n in self._clas if n not in self._pin_counts
+            ] + [
+                ("pre", e) for e in self._pre if e not in self._pre_pin_counts
+            ]
             if not victims:
                 return
-            victim = min(victims, key=lambda n: self._last_used.get(n, -1))
-            del self._clas[victim]
-            self._valid.pop(victim, None)
-            self._last_used.pop(victim, None)
+            pool, victim = min(
+                victims,
+                key=lambda kv: (
+                    self._last_used if kv[0] == "cla" else self._pre_last_used
+                ).get(kv[1], -1),
+            )
+            if pool == "cla":
+                del self._clas[victim]
+                self._valid.pop(victim, None)
+                self._last_used.pop(victim, None)
+            else:
+                del self._pre[victim]
+                self._pre_last_used.pop(victim, None)
             if _obs.ENABLED:
-                _obs.instant("cla_evict", node=victim)
+                _obs.instant("cla_evict", node=victim, pool=pool)
                 _obs_metrics.get_registry().counter(
                     "repro_cla_evictions_total", "CLA slots recycled by LRU"
                 ).inc()
@@ -237,6 +384,23 @@ class MemorySavingEngine(LikelihoodEngine):
             if not self.tree.is_leaf(node):
                 self._touch(node)
         return super()._root_sides(root_edge)
+
+    def all_branch_gradients(
+        self, root_edge: int | None = None, *, terms: bool = False
+    ):
+        """All-branch gradients under the CLA budget (see the base class).
+
+        Pre-order bookkeeping (LRU stamps, op descriptors) is scoped to
+        one sweep, exactly like the partials themselves.
+        """
+        self._pre_last_used.clear()
+        self._pre_pin_counts.clear()
+        self._pre_ops.clear()
+        try:
+            return super().all_branch_gradients(root_edge, terms=terms)
+        finally:
+            self._pre_last_used.clear()
+            self._pre_ops.clear()
 
     # ------------------------------------------------------------------
     def resident_clas(self) -> int:

@@ -135,6 +135,25 @@ class PartitionedEngine:
             totals += np.array(engine.branch_derivatives(sb, t))
         return float(totals[0]), float(totals[1]), float(totals[2])
 
+    def all_branch_gradients(
+        self, root_edge: int | None = None
+    ) -> dict[int, tuple[float, float]]:
+        """All-branch gradients summed across partitions.
+
+        Branch lengths are shared, so each branch's lnL derivative is the
+        sum of the per-partition derivatives — the same additivity
+        :meth:`branch_derivatives` uses, now for every branch in one
+        bidirectional sweep per partition.
+        """
+        if root_edge is None:
+            root_edge = self.default_edge()
+        totals: dict[int, tuple[float, float]] = {}
+        for engine in self.engines:
+            for eid, (d1, d2) in engine.all_branch_gradients(root_edge).items():
+                t1, t2 = totals.get(eid, (0.0, 0.0))
+                totals[eid] = (t1 + d1, t2 + d2)
+        return totals
+
     def drop_caches(self) -> None:
         for engine in self.engines:
             engine.drop_caches()

@@ -52,11 +52,17 @@ __all__ = [
     "fuse_plans",
 ]
 
-#: Backend method name per ``newview`` kernel kind.
+#: Backend method name per CLA-producing kernel kind.  Post-order
+#: ``newview`` and pre-order partial kinds share argument signatures
+#: (the arithmetic is identical; only the counted kind differs), so one
+#: table serves both sweep directions.
 NEWVIEW_METHODS: dict[KernelKind, str] = {
     KernelKind.NEWVIEW_TIP_TIP: "newview_tip_tip",
     KernelKind.NEWVIEW_TIP_INNER: "newview_tip_inner",
     KernelKind.NEWVIEW_INNER_INNER: "newview_inner_inner",
+    KernelKind.PREORDER_TIP_TIP: "preorder_tip_tip",
+    KernelKind.PREORDER_TIP_INNER: "preorder_tip_inner",
+    KernelKind.PREORDER_INNER_INNER: "preorder_inner_inner",
 }
 
 
@@ -64,6 +70,9 @@ NEWVIEW_METHODS: dict[KernelKind, str] = {
 class NewviewCall:
     """One prepared kernel invocation: an op plus its ready operands.
 
+    ``op`` is the plan op the call realises — a
+    :class:`~repro.core.traversal.NewviewOp` on the down-sweep, a
+    :class:`~repro.core.traversal.PreorderOp` on the gradient up-sweep.
     ``args`` matches the positional signature of the backend method named
     by :data:`NEWVIEW_METHODS` for ``kind``.  Operand arrays obtained
     from the engine's per-plan preparation cache are *shared* between
@@ -71,7 +80,7 @@ class NewviewCall:
     backend group same-edge-length ops by operand identity.
     """
 
-    op: NewviewOp
+    op: "NewviewOp | object"
     kind: KernelKind
     args: tuple
 
@@ -263,16 +272,18 @@ class PlanExecutor:
         self.engine._run_ops(wave.ops, batch=self.batch)
         elapsed = time.perf_counter() - t0
         b1 = sum(profile.bytes_moved.values()) if profile is not None else 0
+        mix = wave.kernel_mix()
         batched = (
             self.batch
             and wave.width > 1
             and getattr(self.engine.backend, "newview_batch", None) is not None
+            and any(k.newview_like or k.preorder_like for k in mix)
         )
         self.stats.record(
             WaveProfile(
                 index=wave.index,
                 width=wave.width,
-                kernel_mix={k.value: n for k, n in wave.kernel_mix().items()},
+                kernel_mix={k.value: n for k, n in mix.items()},
                 seconds=elapsed,
                 bytes_moved=b1 - b0,
                 batched=batched,

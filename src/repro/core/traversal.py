@@ -30,22 +30,37 @@ from enum import Enum
 
 __all__ = [
     "KernelKind",
+    "MERGED_KERNEL_KEYS",
+    "PAPER_KERNEL_KEYS",
+    "merged_kernel_key",
     "NewviewOp",
+    "PreorderOp",
+    "EdgeGradientOp",
     "TraversalDescriptor",
+    "GradientDescriptor",
     "Wave",
     "ExecutionPlan",
+    "GradientPlan",
     "levelize",
+    "levelize_upsweep",
     "KernelCounters",
 ]
 
 
 class KernelKind(str, Enum):
-    """The four PLF kernels of Section IV, split by ``newview`` tip cases.
+    """The PLF kernels of Section IV, split by ``newview`` tip cases.
 
     RAxML implements (and the paper vectorises) distinct code paths for
     the tip-tip / tip-inner / inner-inner ``newview`` cases; we count
     them separately because their arithmetic intensity differs, then the
     cost model aggregates them back into the paper's four kernels.
+
+    The ``PREORDER_*`` kinds are the up-sweep mirror of ``newview``: the
+    pre-order partial toward an edge combines the partial across the
+    parent edge with the sibling CLA — arithmetically the same kernel,
+    counted separately because it belongs to the derivative phase.
+    ``EDGE_GRADIENT`` fuses ``derivativeSum`` + ``derivativeCore`` for
+    one branch of the one-traversal all-branch gradient.
     """
 
     NEWVIEW_TIP_TIP = "newview_tip_tip"
@@ -54,10 +69,47 @@ class KernelKind(str, Enum):
     EVALUATE = "evaluate"
     DERIVATIVE_SUM = "derivative_sum"
     DERIVATIVE_CORE = "derivative_core"
+    PREORDER_TIP_TIP = "preorder_tip_tip"
+    PREORDER_TIP_INNER = "preorder_tip_inner"
+    PREORDER_INNER_INNER = "preorder_inner_inner"
+    EDGE_GRADIENT = "edge_gradient"
 
     @property
     def newview_like(self) -> bool:
         return self.value.startswith("newview")
+
+    @property
+    def preorder_like(self) -> bool:
+        return self.value.startswith("preorder")
+
+
+#: Aggregated kernel names: the paper's four plus the two up-sweep
+#: families introduced by the bidirectional plan.  Consumers that only
+#: understand the paper's kernels (cost model calibration, trace replay)
+#: keep iterating their own four-name tuple and are unaffected.
+MERGED_KERNEL_KEYS = (
+    "newview",
+    "evaluate",
+    "derivative_sum",
+    "derivative_core",
+    "preorder",
+    "edge_gradient",
+)
+
+#: The paper's original kernel families.  Aggregated counter dicts are
+#: seeded with exactly these; the up-sweep families appear only once
+#: observed, so workloads that never run a gradient sweep report the
+#: same keys they always did.
+PAPER_KERNEL_KEYS = MERGED_KERNEL_KEYS[:4]
+
+
+def merged_kernel_key(kind: KernelKind) -> str:
+    """Collapse a :class:`KernelKind` to its aggregated counter name."""
+    if kind.newview_like:
+        return "newview"
+    if kind.preorder_like:
+        return "preorder"
+    return kind.value
 
 
 @dataclass(frozen=True)
@@ -71,6 +123,46 @@ class NewviewOp:
     child2: int
     edge2: int
     kind: KernelKind
+
+
+@dataclass(frozen=True)
+class PreorderOp:
+    """One planned pre-order partial: the tree *above* ``edge``.
+
+    Computes ``P[edge]``, the eigen-CLA of everything on the far side of
+    ``edge`` as seen from its top endpoint ``node``.  The two operands
+    mirror a ``newview``: the view across the parent edge ``up_edge``
+    (either the already-computed partial ``P[up_edge]`` when
+    ``across_is_partial``, or — at the up-sweep roots — the down CLA /
+    tip of ``across``, the node on the far side of the virtual root) and
+    the sibling subtree's down CLA / tip through ``sibling_edge``.
+    """
+
+    edge: int
+    node: int
+    up_edge: int
+    across: int
+    across_is_partial: bool
+    sibling: int
+    sibling_edge: int
+    kind: KernelKind
+
+
+@dataclass(frozen=True)
+class EdgeGradientOp:
+    """One planned per-edge derivative: lnL', lnL'' for ``edge``.
+
+    The sum buffer is the element-wise product of the two views of the
+    branch: the pre-order partial ``P[edge]`` (when ``top_is_partial``)
+    or the down CLA / tip of ``top`` (at the virtual root edge, where
+    both views are down CLAs), and the down CLA / tip of ``bottom``.
+    """
+
+    edge: int
+    top: int
+    bottom: int
+    top_is_partial: bool
+    kind: KernelKind = KernelKind.EDGE_GRADIENT
 
 
 @dataclass
@@ -88,6 +180,24 @@ class TraversalDescriptor:
         return len(self.ops)
 
 
+@dataclass
+class GradientDescriptor:
+    """The up-sweep op batch for one-traversal all-branch gradients.
+
+    ``pre_ops`` list the pre-order partials in root-to-tip order
+    (parents before children); ``grad_ops`` carry one
+    :class:`EdgeGradientOp` per branch — ``2N - 3`` of them on an
+    unrooted binary tree, including the virtual root edge itself.
+    """
+
+    root_edge: int
+    pre_ops: list[PreorderOp] = field(default_factory=list)
+    grad_ops: list[EdgeGradientOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pre_ops) + len(self.grad_ops)
+
+
 @dataclass(frozen=True)
 class Wave:
     """One dependency level of an :class:`ExecutionPlan`.
@@ -95,11 +205,14 @@ class Wave:
     Every op in a wave reads only CLAs produced by *earlier* waves (or
     tips / already-valid CLAs), so the ops are mutually independent and
     may be dispatched as one batched kernel call, farmed out to
-    fork-join workers, or executed in any order.
+    fork-join workers, or executed in any order.  Down-sweep waves hold
+    :class:`NewviewOp`; up-sweep waves mix :class:`PreorderOp` and
+    :class:`EdgeGradientOp` (a branch's gradient becomes ready one level
+    after its partial, alongside the next level of partials).
     """
 
     index: int
-    ops: tuple[NewviewOp, ...]
+    ops: tuple
 
     @property
     def width(self) -> int:
@@ -128,6 +241,9 @@ class ExecutionPlan:
 
     root_edge: int
     waves: list[Wave] = field(default_factory=list)
+    #: ``"down"`` for post-order (newview) plans, ``"up"`` for the
+    #: pre-order + gradient sweep of a :class:`GradientPlan`.
+    direction: str = "down"
 
     @property
     def n_ops(self) -> int:
@@ -186,6 +302,65 @@ def levelize(desc: TraversalDescriptor) -> ExecutionPlan:
 
 
 @dataclass
+class GradientPlan:
+    """The bidirectional plan: one down-sweep, one mixed-kind up-sweep.
+
+    ``down`` is the ordinary post-order plan that validates every CLA
+    toward ``root_edge``; ``up`` is the root-to-tip sweep whose waves
+    interleave pre-order partials with the per-edge gradient ops that
+    become ready as the partials land.  Executing both yields first and
+    second log-likelihood derivatives for all ``2N - 3`` branches in
+    O(N) kernel calls — the linear-time alternative to ``2N - 3``
+    independent ``derivativeSum`` re-traversals.
+    """
+
+    root_edge: int
+    down: ExecutionPlan
+    up: ExecutionPlan
+
+    @property
+    def n_ops(self) -> int:
+        return self.down.n_ops + self.up.n_ops
+
+    @property
+    def depth(self) -> int:
+        return self.down.depth + self.up.depth
+
+    def kernel_mix(self) -> dict[KernelKind, int]:
+        mix = self.down.kernel_mix()
+        for kind, n in self.up.kernel_mix().items():
+            mix[kind] = mix.get(kind, 0) + n
+        return mix
+
+
+def levelize_upsweep(desc: GradientDescriptor) -> ExecutionPlan:
+    """Fold a gradient descriptor into root-to-tip dependency waves.
+
+    A pre-order partial's level is one past its parent partial's level
+    (partials fed by the virtual root's down CLAs sit at level 0); an
+    edge's gradient op runs one level after the partial it consumes, so
+    it shares a wave with the *next* generation of partials — the mixed
+    kernel-kind waves the dispatcher batches per kind.  The virtual root
+    edge's gradient needs only down CLAs and joins wave 0.
+    """
+
+    plevel: dict[int, int] = {}
+    buckets: dict[int, list] = {}
+    for op in desc.pre_ops:
+        lvl = plevel[op.up_edge] + 1 if op.across_is_partial else 0
+        plevel[op.edge] = lvl
+        buckets.setdefault(lvl, []).append(op)
+    for op in desc.grad_ops:
+        lvl = plevel[op.edge] + 1 if op.top_is_partial else 0
+        buckets.setdefault(lvl, []).append(op)
+    waves = [
+        Wave(index=i, ops=tuple(buckets[lvl]))
+        for i, lvl in enumerate(sorted(buckets))
+    ]
+    return ExecutionPlan(root_edge=desc.root_edge, waves=waves, direction="up")
+
+
+@dataclass
 class KernelCounters:
     """Running totals of kernel invocations and processed site units.
 
@@ -211,19 +386,23 @@ class KernelCounters:
         return sum(self.calls.values())
 
     def merged(self) -> dict[str, int]:
-        """Calls aggregated to the paper's four kernel names."""
-        out = {"newview": 0, "evaluate": 0, "derivative_sum": 0, "derivative_core": 0}
+        """Calls aggregated to the :data:`MERGED_KERNEL_KEYS` names.
+
+        Seeded with the paper's four families; "preorder" and
+        "edge_gradient" appear only once a gradient sweep has run.
+        """
+        out = {key: 0 for key in PAPER_KERNEL_KEYS}
         for kind, n in self.calls.items():
-            key = "newview" if kind.newview_like else kind.value
-            out[key] += n
+            key = merged_kernel_key(kind)
+            out[key] = out.get(key, 0) + n
         return out
 
     def merged_site_units(self) -> dict[str, int]:
-        """Site units aggregated to the paper's four kernel names."""
-        out = {"newview": 0, "evaluate": 0, "derivative_sum": 0, "derivative_core": 0}
+        """Site units aggregated like :meth:`merged`."""
+        out = {key: 0 for key in PAPER_KERNEL_KEYS}
         for kind, n in self.site_units.items():
-            key = "newview" if kind.newview_like else kind.value
-            out[key] += n
+            key = merged_kernel_key(kind)
+            out[key] = out.get(key, 0) + n
         return out
 
     def copy(self) -> "KernelCounters":

@@ -394,6 +394,88 @@ class DistributedEngine:
         total = self._allreduce(parts)
         return float(total[0]), float(total[1]), float(total[2])
 
+    def all_branch_gradients(
+        self, root_edge: int | None = None
+    ) -> dict[int, tuple[float, float]]:
+        """All-branch ``(d1, d2)`` under ExaML's communication scheme.
+
+        Ranks run the bidirectional sweep over their slices in lock-step
+        — the pre-order up-sweep crosses wave boundaries but exchanges
+        nothing, exactly like consecutive ``newview`` calls — and the
+        per-edge derivatives are combined by a *single* AllReduce of
+        ``2 * (2N - 3)`` doubles, so the collective count per sweep stays
+        O(1) instead of O(N).  The returned values come from full-length
+        term lanes gathered in pattern order and reduced with the same
+        :func:`~repro.core.kernels.derivative_reduce` as the sequential
+        engine, so they are bit-identical for every rank count.
+        """
+        if root_edge is None:
+            root_edge = self.default_edge()
+        n = self.patterns.n_patterns
+        if self.pool is not None:
+            def op() -> dict[int, np.ndarray]:
+                self._pool_validate(root_edge)
+                return self.pool.grad(root_edge)
+            lanes = self._pool_retry(op)
+        else:
+            self.ensure_valid(root_edge)
+            plans = [engine.plan_gradient(root_edge) for engine in self.ranks]
+            for engine in self.ranks:
+                engine._pre = {}
+                engine._grad_terms = {}
+            depth = max((p.up.depth for p in plans), default=0)
+            for k in range(depth):
+                self.wave_boundaries += 1
+                if _obs.ENABLED:
+                    _obs.instant(
+                        "wave_boundary",
+                        wave=k,
+                        ranks=len(self.ranks),
+                        sweep="up",
+                    )
+                    _obs_metrics.get_registry().counter(
+                        "repro_wave_boundaries_total",
+                        "lock-step wave boundaries across ranks",
+                    ).inc()
+                for r, (engine, plan) in enumerate(zip(self.ranks, plans)):
+                    if k < plan.up.depth:
+                        with _obs.track_scope(f"rank-{self.owner_of(r)}"):
+                            engine.executor.run_wave(plan.up.waves[k])
+            lanes = {}
+            for r, engine in enumerate(self.ranks):
+                idx = self.distribution.indices_of(r)
+                for eid, (l0, l1, l2) in engine._grad_terms.items():
+                    lane = lanes.get(eid)
+                    if lane is None:
+                        lane = lanes[eid] = np.empty((3, n))
+                    lane[0][idx], lane[1][idx], lane[2][idx] = l0, l1, l2
+            for engine in self.ranks:
+                engine._pre = {}
+                engine._grad_terms = None
+        order = sorted(lanes)
+        out: dict[int, tuple[float, float]] = {}
+        weights = self.patterns.weights
+        for eid in order:
+            lane = lanes[eid]
+            _, d1, d2 = derivative_reduce(lane[0], lane[1], lane[2], weights)
+            out[eid] = (d1, d2)
+        # The one collective: per-rank (d1, d2) partial vectors, summed.
+        # Accounting + fault injection only — the reported derivatives
+        # above come from the fixed-order lane reduction.
+        parts = []
+        for r in range(self.mpi.n_ranks):
+            idx = self.distribution.indices_of(r)
+            w = weights[idx]
+            vec = np.empty(2 * len(order))
+            for j, eid in enumerate(order):
+                l0, l1, l2 = (lane[idx] for lane in lanes[eid])
+                r1 = l1 / l0
+                vec[2 * j] = float(np.dot(r1, w))
+                vec[2 * j + 1] = float(np.dot(l2 / l0 - r1 * r1, w))
+            parts.append(vec)
+        self._allreduce(parts)
+        return out
+
     def site_log_likelihoods(self, root_edge: int | None = None) -> np.ndarray:
         """Gathered per-pattern lnL in original pattern order."""
         if root_edge is None:

@@ -528,6 +528,72 @@ class ForkJoinEngine:
             l0[idx], l1[idx], l2[idx] = part
         return derivative_reduce(l0, l1, l2, self.patterns.weights)
 
+    def all_branch_gradients(
+        self, root_edge: int | None = None
+    ) -> dict[int, tuple[float, float]]:
+        """All-branch ``(d1, d2)`` via parallel bidirectional sweeps.
+
+        The post-order down-sweep rides :meth:`ensure_valid`'s per-wave
+        regions; the pre-order up-sweep then runs as one fork-join region
+        per up-wave (workers share the tree, so their gradient plans
+        levelize identically).  Workers collect per-edge *site terms* on
+        their slices; the master gathers each edge's full-length
+        ``(l0, l1, l2)`` lanes in pattern order and applies the same
+        :func:`~repro.core.kernels.derivative_reduce` the sequential
+        engine uses — bit-identical for every worker count.
+        """
+        if root_edge is None:
+            root_edge = self.default_edge()
+        weights = self.patterns.weights
+        if self.execution == "processes":
+            def op() -> dict[int, np.ndarray]:
+                self._pool_validate(root_edge)  # wave regions
+                return self.pool.grad(root_edge)
+            lanes = self._retry(op)
+            self._sync_from_pool()
+            out: dict[int, tuple[float, float]] = {}
+            for eid, lane in lanes.items():
+                _, d1, d2 = derivative_reduce(lane[0], lane[1], lane[2], weights)
+                out[eid] = (d1, d2)
+            return out
+        self.ensure_valid(root_edge)  # down-sweep wave regions
+        plans = [w.plan_gradient(root_edge) for w in self.workers]
+        for worker in self.workers:
+            worker._pre = {}
+            worker._grad_terms = {}
+        depth = max((p.up.depth for p in plans), default=0)
+        with _obs.span(
+            "gradient.all_branches", up_waves=depth, workers=self.n_threads
+        ):
+            for k in range(depth):
+                if self.execution == "threads":
+                    self._threads_region([
+                        (lambda w=w, p=p: w.executor.run_wave(p.up.waves[k]))
+                        if k < p.up.depth else None
+                        for w, p in zip(self.workers, plans)
+                    ])
+                    continue
+                self._region()  # one region (two barriers) per up-wave
+                for t, (worker, plan) in enumerate(zip(self.workers, plans)):
+                    if k < plan.up.depth:
+                        with _obs.track_scope(f"thread-{t}"):
+                            worker.executor.run_wave(plan.up.waves[k])
+        out = {}
+        l0 = np.empty(self.patterns.n_patterns)
+        l1 = np.empty_like(l0)
+        l2 = np.empty_like(l0)
+        for eid in self.workers[0]._grad_terms:
+            for i, worker in enumerate(self.workers):
+                idx = self.distribution.indices_of(i)
+                t0, t1, t2 = worker._grad_terms[eid]
+                l0[idx], l1[idx], l2[idx] = t0, t1, t2
+            _, d1, d2 = derivative_reduce(l0, l1, l2, weights)
+            out[eid] = (d1, d2)
+        for worker in self.workers:
+            worker._pre = {}
+            worker._grad_terms = None
+        return out
+
     def drop_caches(self) -> None:
         if self.execution == "processes":
             self._retry(self.pool.drop_caches)

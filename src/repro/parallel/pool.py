@@ -346,6 +346,19 @@ def _worker_main(conn, cfg: dict) -> None:
                     partial[owner, 1] = float(np.dot(l0, w))
                     partial[owner, 2] = float(np.dot(l1, w))
                     partial[owner, 3] = float(np.dot(l2, w))
+            elif cmd == "grad":
+                root_edge = msg[1]
+                # Per-owner all-branch gradient *site terms*: the pre-order
+                # up-sweep runs slice-locally (every kernel is elementwise
+                # across sites), the reduction happens at the master in
+                # fixed pattern order.  Lanes travel over the pipe: the
+                # arena's terms lane holds one edge, these hold 2N - 3.
+                payload = {}
+                for owner, (engine, _lo, _hi) in engines.items():
+                    terms = engine.all_branch_gradients(root_edge, terms=True)
+                    payload[owner] = {
+                        eid: np.stack(t3) for eid, t3 in terms.items()
+                    }
             elif cmd == "set_model":
                 model, rates = msg[1], msg[2]
                 for engine, _lo, _hi in engines.values():
@@ -692,6 +705,28 @@ class WorkerPool:
                 "derivativeSum buffer and it has been overwritten"
             )
         self._region("deriv", ("deriv", float(t)))
+
+    def grad(self, root_edge: int) -> dict[int, np.ndarray]:
+        """All-branch gradient lanes: ``{edge_id: (3, n_patterns)}``.
+
+        One region; every worker runs its slice's bidirectional sweep and
+        ships per-edge ``(l0, l1, l2)`` site terms back, which are placed
+        into full-length lanes by the owner's pattern bounds (adopted
+        slices land at the dead worker's bounds, keeping pattern order —
+        and therefore the master reduction — identical).
+        """
+        payloads = self._region("grad", ("grad", root_edge))
+        n = self.patterns.n_patterns
+        lanes: dict[int, np.ndarray] = {}
+        for per_owner in payloads.values():
+            for owner, per_edge in per_owner.items():
+                lo, hi = self.bounds[owner]
+                for eid, stacked in per_edge.items():
+                    lane = lanes.get(eid)
+                    if lane is None:
+                        lane = lanes[eid] = np.empty((3, n))
+                    lane[:, lo:hi] = stacked
+        return lanes
 
     def set_model(self, model, rates) -> None:
         self._model = model

@@ -40,6 +40,7 @@ __all__ = [
     "measure_kernel_cycles",
     "PIPELINE_EFFICIENCY",
     "SERIAL_OVERHEAD_CYCLES",
+    "KIND_PRICING",
     "CostModel",
     "MeasuredKernelCost",
     "measured_costs",
@@ -50,6 +51,25 @@ __all__ = [
 ]
 
 KERNELS = ("newview", "evaluate", "derivative_sum", "derivative_core")
+
+#: How each scheduled kernel *kind* is priced in terms of the paper's
+#: four measured kernels.  Pre-order partial ops run the same
+#: arithmetic as ``newview`` (same FMA streams, different operand
+#: roles), so they are priced identically; an ``edge_gradient`` op is
+#: one ``derivative_sum`` (element-wise product of the pre-order and
+#: post-order CLAs) followed by one ``derivative_core`` evaluation.
+KIND_PRICING: dict[str, tuple[str, ...]] = {
+    "newview_tip_tip": ("newview",),
+    "newview_tip_inner": ("newview",),
+    "newview_inner_inner": ("newview",),
+    "preorder_tip_tip": ("newview",),
+    "preorder_tip_inner": ("newview",),
+    "preorder_inner_inner": ("newview",),
+    "evaluate": ("evaluate",),
+    "derivative_sum": ("derivative_sum",),
+    "derivative_core": ("derivative_core",),
+    "edge_gradient": ("derivative_sum", "derivative_core"),
+}
 
 
 @dataclass(frozen=True)
@@ -273,8 +293,12 @@ def wave_schedule_costs(
 
     ``wave_summary`` is a :class:`repro.core.schedule.WaveStats` (or its
     ``to_dict()`` payload as attached to a
-    :class:`repro.perf.trace.KernelTrace`).  All waves carry ``newview``
-    ops — the only kernel the levelized planner schedules.
+    :class:`repro.perf.trace.KernelTrace`).  Each scheduled kernel kind
+    in the summary's ``kernel_mix`` is priced via :data:`KIND_PRICING`
+    (pre-order partials as ``newview``, ``edge_gradient`` as a
+    ``derivative_sum`` + ``derivative_core`` pair); ops not covered by
+    the mix — summaries predating the bidirectional IR carry none —
+    fall back to ``newview`` pricing, the historical behaviour.
 
     Returns a dict with
 
@@ -295,15 +319,25 @@ def wave_schedule_costs(
     ops = int(wave_summary.get("ops", 0))
     n_workers = n_workers or model.platform.cores
     sites_per_core = float(np.ceil(sites / n_workers))
-    per_op_compute = (
-        model.cycles_per_site("newview")
-        * sites_per_core
-        / (model.platform.clock_ghz * 1e9)
-    )
-    overhead = model.serial_overhead_s("newview")
-    serial_depth_s = waves * overhead
-    parallel_width_s = ops * per_op_compute
-    per_op_serial_s = ops * overhead
+    clock_hz = model.platform.clock_ghz * 1e9
+
+    def op_compute(kernel: str) -> float:
+        return model.cycles_per_site(kernel) * sites_per_core / clock_hz
+
+    mix = {
+        str(k): int(n)
+        for k, n in (wave_summary.get("kernel_mix") or {}).items()
+        if str(k) in KIND_PRICING
+    }
+    plain = max(ops - sum(mix.values()), 0)  # kinds unknown to the summary
+    parallel_width_s = plain * op_compute("newview")
+    per_op_serial_s = plain * model.serial_overhead_s("newview")
+    for kind, n in mix.items():
+        for kernel in KIND_PRICING[kind]:
+            parallel_width_s += n * op_compute(kernel)
+            per_op_serial_s += n * model.serial_overhead_s(kernel)
+    # one setup charge per wave at the schedule's op-weighted mean rate
+    serial_depth_s = waves * (per_op_serial_s / ops) if ops else 0.0
     return {
         "waves": float(waves),
         "ops": float(ops),

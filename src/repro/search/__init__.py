@@ -7,7 +7,13 @@ feeds the performance model.
 """
 
 from .bootstrap import BootstrapResult, bootstrap_analysis, bootstrap_weights, support_values
-from .branch_opt import BranchOptResult, optimize_all_branches, optimize_branch
+from .branch_opt import (
+    BRANCH_OPT_METHODS,
+    BranchOptResult,
+    all_branch_gradients,
+    optimize_all_branches,
+    optimize_branch,
+)
 from .checkpoint import (
     Checkpoint,
     CheckpointWriter,
@@ -28,6 +34,7 @@ from .model_opt import (
 from .model_select import ModelFit, candidate_models, select_model
 from .nni import NniRoundStats, nni_round, nni_search
 from .raxml_light import SearchConfig, SearchResult, empirical_frequencies, ml_search
+from .proxgrad import ProxGradResult, proximal_smooth
 from .spr import SprRoundStats, spr_round, spr_search
 
 __all__ = [
@@ -35,9 +42,13 @@ __all__ = [
     "bootstrap_analysis",
     "bootstrap_weights",
     "support_values",
+    "BRANCH_OPT_METHODS",
     "BranchOptResult",
+    "all_branch_gradients",
     "optimize_all_branches",
     "optimize_branch",
+    "ProxGradResult",
+    "proximal_smooth",
     "Checkpoint",
     "CheckpointWriter",
     "load_checkpoint",

@@ -1,4 +1,4 @@
-"""Branch-length optimisation via Newton–Raphson (Section IV).
+"""Branch-length optimisation: Newton sweeps and all-branch gradients.
 
 The paper's third and fourth kernels exist for exactly this routine:
 ``derivativeSum`` pre-computes the element-wise CLA product for the
@@ -9,9 +9,28 @@ derivatives) — no CLA traffic at all.  We reproduce that structure: one
 branch length with a golden-section fallback for the (rare) non-concave
 starts.
 
-Full-tree optimisation (:func:`optimize_all_branches`) sweeps the tree
-in depth-first edge order for a configurable number of smoothing passes,
-the same scheme as RAxML's ``treeEvaluate``.
+Full-tree optimisation (:func:`optimize_all_branches`) offers three
+methods:
+
+``"newton"``
+    The classic per-branch sweep in depth-first edge order (RAxML's
+    ``treeEvaluate``), 2N - 3 re-rooted ``derivativeSum`` traversals per
+    pass.  Kept as the parity oracle for the gradient path.
+``"gradient"``
+    A full-tree smoother over :func:`all_branch_gradients`: *one*
+    bidirectional traversal yields every branch's ``(d1, d2)``, all
+    branches take a simultaneous damped Newton step, and a global
+    backtracking line search keeps each sweep monotone in lnL.
+``"prox"``
+    The ISTA-style proximal-gradient optimiser with an L1 branch-length
+    penalty (:mod:`repro.search.proxgrad`) — for sparse /
+    near-multifurcating trees.
+
+Per-branch results that are fully determined by unchanged inputs are
+skipped: the engine's structural subtree signatures (the same ones that
+gate CLA invalidation) plus the branch length form a key that decides
+whether a previous pass's converged Newton solve can be reused without
+recomputing the sum buffer.
 """
 
 from __future__ import annotations
@@ -21,10 +40,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.engine import LikelihoodEngine
+from ..obs import metrics as _obs_metrics
 from ..obs import spans as _obs
 from ..phylo.tree import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
 
-__all__ = ["BranchOptResult", "optimize_branch", "optimize_all_branches"]
+__all__ = [
+    "BranchOptResult",
+    "BRANCH_OPT_METHODS",
+    "all_branch_gradients",
+    "optimize_branch",
+    "optimize_all_branches",
+]
+
+#: Full-tree smoothing methods accepted by :func:`optimize_all_branches`
+#: (and the ``--branch-opt`` CLI flag).
+BRANCH_OPT_METHODS = ("newton", "gradient", "prox")
 
 
 @dataclass
@@ -36,6 +66,21 @@ class BranchOptResult:
     length: float
     iterations: int
     converged: bool
+
+
+def all_branch_gradients(
+    engine, root_edge: int | None = None
+) -> dict[int, tuple[float, float]]:
+    """``{edge_id: (dlnL/dt, d²lnL/dt²)}`` for every branch at once.
+
+    Search-level entry point for the engines' bidirectional sweep: one
+    post-order plus one pre-order traversal instead of 2N - 3 re-rooted
+    ``derivativeSum`` traversals.  Every engine flavour (serial, CAT,
+    +I, memory-saving, partitioned, fork-join, distributed) provides the
+    method; the values match the per-branch ``edge_sum_buffer`` +
+    ``branch_derivatives`` pair bit-for-bit.
+    """
+    return engine.all_branch_gradients(root_edge)
 
 
 def _newton_on_sumbuffer(
@@ -80,14 +125,73 @@ def _newton_on_sumbuffer(
     return t, max_iterations, abs(d1) < 1e-2
 
 
+def _branch_signature(engine, edge_id: int):
+    """Key fully determining a per-branch Newton solve, or ``None``.
+
+    Combines the branch length with the engine's structural subtree
+    signatures of both directed endpoints (model version included) — the
+    exact inputs ``edge_sum_buffer`` + Newton consume.  Engines that
+    don't expose the signature machinery directly delegate to a
+    representative sub-engine sharing the master tree; where none exists
+    (process pools), the memo is simply disabled.
+    """
+    if hasattr(engine, "_signatures"):
+        targets = [engine]
+    elif getattr(engine, "workers", None):  # fork-join (simulated/threads)
+        targets = [engine.workers[0]]
+    elif getattr(engine, "ranks", None):  # distributed (simulated)
+        targets = [engine.ranks[0]]
+    elif getattr(engine, "engines", None):  # partitioned: every model counts
+        targets = engine.engines
+    else:
+        return None
+    if not all(hasattr(t, "_signatures") for t in targets):
+        return None
+    edge = engine.tree.edge(edge_id)
+    parts: list = [edge.length]
+    for t in targets:
+        sigs = t._signatures(edge_id)
+        parts.append(
+            (t._model_version, sigs[(edge.u, edge_id)], sigs[(edge.v, edge_id)])
+        )
+    return tuple(parts)
+
+
 def optimize_branch(
     engine: LikelihoodEngine,
     edge_id: int,
     tolerance: float = 1e-8,
     max_iterations: int = 64,
+    memo: dict | None = None,
 ) -> BranchOptResult:
-    """Optimise one branch length in place on the engine's tree."""
+    """Optimise one branch length in place on the engine's tree.
+
+    With ``memo`` (as passed by :func:`optimize_all_branches`), a branch
+    whose length and endpoint subtree signatures are unchanged since its
+    last solve (at the same tolerance and iteration budget) is skipped
+    outright — no ``derivativeSum``, no Newton iterations — because the
+    deterministic solve would reproduce the memoised result exactly.
+    """
     edge = engine.tree.edge(edge_id)
+    sig = _branch_signature(engine, edge_id) if memo is not None else None
+    if sig is not None:
+        # The solver parameters are part of what determines the result,
+        # so they join the key: a retry at a different tolerance must
+        # not be satisfied by a skip.
+        sig = sig + (tolerance, max_iterations)
+    if sig is not None and memo.get(edge_id) == sig:
+        if _obs.ENABLED:
+            _obs_metrics.get_registry().counter(
+                "repro_branch_opt_skips_total",
+                "per-branch Newton solves skipped (inputs unchanged)",
+            ).inc()
+        return BranchOptResult(
+            edge=edge_id,
+            initial_length=edge.length,
+            length=edge.length,
+            iterations=0,
+            converged=True,
+        )
     with _obs.span("search.branch_opt", edge=edge_id):
         sumbuf = engine.edge_sum_buffer(edge_id)
         t, iters, ok = _newton_on_sumbuffer(
@@ -101,6 +205,13 @@ def optimize_branch(
         converged=ok,
     )
     edge.length = t
+    if sig is not None:
+        # The endpoint signatures exclude this branch's own length, so
+        # the post-solve key is the old one with the length swapped in.
+        # Stored even for non-converged solves: the solver is
+        # deterministic in its keyed inputs, so re-running it on an
+        # unchanged branch would reproduce this exact outcome.
+        memo[edge_id] = (t,) + sig[1:]
     return result
 
 
@@ -109,17 +220,40 @@ def optimize_all_branches(
     passes: int = 4,
     tolerance: float = 1e-8,
     improvement_epsilon: float = 1e-4,
+    method: str = "newton",
 ) -> float:
     """Smoothing passes over every branch; returns the final lnL.
 
-    Branches are visited in an order that follows tree adjacency (edges
+    ``method`` selects the full-tree smoother (:data:`BRANCH_OPT_METHODS`):
+    the per-branch Newton sweep, the one-traversal gradient smoother, or
+    the L1-penalised proximal-gradient optimiser.  For ``"newton"``,
+    branches are visited in an order that follows tree adjacency (edges
     discovered by depth-first search), so consecutive optimisations share
     most of their CLA validity and the engine's traversal planner only
     recomputes the nodes along the shifted virtual root — mirroring how
     RAxML walks the tree during ``treeEvaluate``.
     """
+    if method not in BRANCH_OPT_METHODS:
+        raise ValueError(
+            f"method must be one of {BRANCH_OPT_METHODS}, got {method!r}"
+        )
     tree = engine.tree
-    with _obs.span("search.branch_smoothing", passes=passes):
+    with _obs.span("search.branch_smoothing", passes=passes, method=method):
+        if _obs.ENABLED:
+            _obs_metrics.get_registry().counter(
+                f"repro_branch_opt_method_{method}_total",
+                "full-tree smoothing runs by method",
+            ).inc()
+        if method == "gradient":
+            return _smooth_gradient(
+                engine, tree, passes, tolerance, improvement_epsilon
+            )
+        if method == "prox":
+            from .proxgrad import proximal_smooth
+
+            return proximal_smooth(
+                engine, max_sweeps=max(16, 8 * passes), tolerance=tolerance
+            ).lnl
         return _smooth_all(
             engine, tree, passes, tolerance, improvement_epsilon
         )
@@ -132,6 +266,9 @@ def _smooth_all(
     tolerance: float,
     improvement_epsilon: float,
 ) -> float:
+    memo = engine.__dict__.setdefault("_branch_opt_memo", {})
+    if len(memo) > 8 * len(tree.edge_ids):  # retired edges after topology moves
+        memo.clear()
     lnl = engine.log_likelihood()
     for _ in range(passes):
         start = tree.leaves()[0]
@@ -149,7 +286,7 @@ def _smooth_all(
                     visited.add(nbr)
                     stack.append(nbr)
         for eid in order:
-            optimize_branch(engine, eid, tolerance=tolerance)
+            optimize_branch(engine, eid, tolerance=tolerance, memo=memo)
         new_lnl = engine.log_likelihood()
         if new_lnl < lnl - 1e-6 and new_lnl < lnl * (1 + 1e-12):
             # A smoothing pass must never make things worse; a drop means
@@ -160,4 +297,70 @@ def _smooth_all(
         if new_lnl - lnl < improvement_epsilon:
             return new_lnl
         lnl = new_lnl
+    return lnl
+
+
+def _smooth_gradient(
+    engine,
+    tree,
+    passes: int,
+    tolerance: float,
+    improvement_epsilon: float,
+) -> float:
+    """Simultaneous damped Newton over one-traversal gradients.
+
+    Each sweep costs one bidirectional traversal (O(N) kernel calls)
+    against the Newton sweep's 2N - 3 re-rooted traversals; because all
+    branches move at once the step is guarded by a *global* backtracking
+    line search (halve every step until lnL improves), and more, cheaper
+    sweeps are run — the sweep budget is ``8 * passes`` so the smoother
+    converges to the same optimum the sequential sweep finds.
+    """
+    lnl = engine.log_likelihood()
+    max_sweeps = max(16, 8 * passes)
+    for sweep in range(1, max_sweeps + 1):
+        grads = all_branch_gradients(engine)
+        if max(abs(d1) for d1, _ in grads.values()) < tolerance:
+            break
+        old = {eid: tree.edge(eid).length for eid in grads}
+        steps = {}
+        for eid, (d1, d2) in grads.items():
+            if d2 < 0.0:
+                steps[eid] = -d1 / d2
+            else:
+                steps[eid] = float(np.sign(d1)) * max(abs(old[eid]), 0.05)
+        scale = 1.0
+        improved = False
+        lnl_new = lnl
+        for _ in range(30):
+            for eid, t0 in old.items():
+                tree.edge(eid).length = float(
+                    np.clip(
+                        t0 + scale * steps[eid],
+                        MIN_BRANCH_LENGTH,
+                        MAX_BRANCH_LENGTH,
+                    )
+                )
+            lnl_new = engine.log_likelihood()
+            if lnl_new >= lnl - 1e-13:
+                improved = True
+                break
+            scale *= 0.5
+        if _obs.ENABLED:
+            _obs_metrics.get_registry().counter(
+                "repro_branch_opt_gradient_sweeps_total",
+                "gradient-smoother sweeps (one traversal each)",
+            ).inc()
+        if not improved:
+            for eid, t0 in old.items():
+                tree.edge(eid).length = t0
+            engine.log_likelihood()  # restore CLA validity at the old lengths
+            break
+        gain = lnl_new - lnl
+        lnl = lnl_new
+        # The per-sweep gain decays geometrically near the optimum; a
+        # tighter cut than the Newton sweep's pass criterion keeps the
+        # two methods' final lnL within 1e-6 of each other.
+        if gain < improvement_epsilon * 1e-3:
+            break
     return lnl

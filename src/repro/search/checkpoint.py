@@ -82,6 +82,10 @@ class Checkpoint:
     spr_round: int = 0
     spr_radius_idx: int = 0
     tree_state: dict | None = None
+    #: Full-tree smoothing method the run was using; a resumed search
+    #: keeps it (the checkpoint wins over the resuming config) so the
+    #: trajectory continues with the same optimiser.
+    branch_opt_method: str = "newton"
 
     def to_json(self) -> str:
         return json.dumps(
@@ -99,6 +103,7 @@ class Checkpoint:
                 "spr_round": self.spr_round,
                 "spr_radius_idx": self.spr_radius_idx,
                 "tree_state": self.tree_state,
+                "branch_opt_method": self.branch_opt_method,
             },
             indent=2,
         )
@@ -143,6 +148,7 @@ class Checkpoint:
                 spr_round=int(d.get("spr_round", 0)),
                 spr_radius_idx=int(d.get("spr_radius_idx", 0)),
                 tree_state=d.get("tree_state"),
+                branch_opt_method=str(d.get("branch_opt_method", "newton")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             detail = (
@@ -158,6 +164,7 @@ def _snapshot(
     step: int = 0,
     spr_round: int = 0,
     spr_radius_idx: int = 0,
+    branch_opt_method: str = "newton",
 ) -> Checkpoint:
     # ``tree_state`` is the authoritative restore payload: an exact
     # structural dump (node/edge ids, adjacency order, id counters) so a
@@ -180,6 +187,7 @@ def _snapshot(
         spr_round=spr_round,
         spr_radius_idx=spr_radius_idx,
         tree_state=engine.tree.to_state(),
+        branch_opt_method=branch_opt_method,
     )
 
 
@@ -191,6 +199,7 @@ def save_checkpoint(
     step: int = 0,
     spr_round: int = 0,
     spr_radius_idx: int = 0,
+    branch_opt_method: str = "newton",
 ) -> Checkpoint:
     """Snapshot an engine's search state to a JSON file, atomically.
 
@@ -198,7 +207,9 @@ def save_checkpoint(
     any instant leaves either the previous snapshot or the new one on
     disk, never a truncated hybrid.
     """
-    ckpt = _snapshot(engine, lnl, stage, step, spr_round, spr_radius_idx)
+    ckpt = _snapshot(
+        engine, lnl, stage, step, spr_round, spr_radius_idx, branch_opt_method
+    )
     atomic_write_text(path, ckpt.to_json())
     return ckpt
 
@@ -268,6 +279,7 @@ class CheckpointWriter:
         every: int = 1,
         keep: int = 3,
         fault_plan: FaultPlan | None = None,
+        branch_opt_method: str = "newton",
     ) -> None:
         if every < 0:
             raise ValueError("checkpoint period must be >= 0")
@@ -277,6 +289,7 @@ class CheckpointWriter:
         self.every = every
         self.keep = keep
         self.fault_plan = fault_plan
+        self.branch_opt_method = branch_opt_method
         self.writes = 0
         self.seconds_writing = 0.0
         self.last_checkpoint: Checkpoint | None = None
@@ -300,7 +313,10 @@ class CheckpointWriter:
     ) -> Checkpoint:
         """Rotate and atomically write one snapshot (unconditional)."""
         t0 = time.perf_counter()
-        ckpt = _snapshot(engine, lnl, stage, step, spr_round, spr_radius_idx)
+        ckpt = _snapshot(
+            engine, lnl, stage, step, spr_round, spr_radius_idx,
+            self.branch_opt_method,
+        )
         self._rotate()
 
         hook = None

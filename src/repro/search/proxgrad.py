@@ -1,0 +1,148 @@
+"""ISTA-style proximal-gradient branch-length optimisation.
+
+Optimises the L1-penalised log-likelihood over *all* branch lengths
+
+    F(t) = lnL(t) - lam * sum_i t_i
+
+using the one-traversal :meth:`all_branch_gradients` primitive: each
+sweep costs one bidirectional traversal, every branch takes a
+diagonally-preconditioned gradient step (step size ``1 / |d2|``, the
+scalar Newton metric), and the L1 penalty is applied in closed form by
+the proximal operator — for positive branch lengths soft-thresholding
+degenerates to ``t <- max(t + eta * (d1 - lam) ... MIN_BRANCH_LENGTH)``,
+so penalised branches collapse *exactly* onto the minimum length instead
+of merely shrinking toward it.  That makes the optimiser a practical
+near-multifurcation detector: with ``lam > 0`` the set of branches pinned
+at ``MIN_BRANCH_LENGTH`` (the ``sparsity``) identifies edges the data
+cannot resolve.
+
+A global backtracking line search on F keeps each sweep monotone, the
+same damping discipline as the Newton smoother.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import metrics as _obs_metrics
+from ..obs import spans as _obs
+from ..phylo.tree import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
+
+__all__ = ["ProxGradResult", "proximal_smooth"]
+
+#: Curvature floor for the diagonal preconditioner: branches with nearly
+#: flat second derivatives would otherwise take unbounded steps.
+CURVATURE_FLOOR = 1e-3
+
+
+@dataclass
+class ProxGradResult:
+    """Outcome of a proximal-gradient smoothing run."""
+
+    lnl: float  #: final (unpenalised) log-likelihood
+    objective: float  #: final penalised objective F = lnL - lam * sum(t)
+    lam: float  #: L1 penalty weight the run used
+    sweeps: int  #: bidirectional gradient traversals performed
+    sparsity: int  #: branches pinned at MIN_BRANCH_LENGTH
+    converged: bool
+
+
+def proximal_smooth(
+    engine,
+    lam: float = 0.0,
+    max_sweeps: int = 32,
+    tolerance: float = 1e-8,
+    objective_epsilon: float = 1e-7,
+) -> ProxGradResult:
+    """Run ISTA over all branch lengths; returns a :class:`ProxGradResult`.
+
+    ``lam = 0`` reduces to preconditioned gradient ascent on lnL (useful
+    as a smoother); ``lam > 0`` trades likelihood for sparsity, driving
+    unsupported branches exactly to ``MIN_BRANCH_LENGTH``.
+    """
+    if lam < 0.0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+    tree = engine.tree
+    edge_ids = sorted(tree.edge_ids)
+
+    def objective(lnl: float) -> float:
+        return lnl - lam * sum(tree.edge(e).length for e in edge_ids)
+
+    lnl = engine.log_likelihood()
+    best = objective(lnl)
+    sweeps = 0
+    converged = False
+    with _obs.span("search.proxgrad", lam=lam, max_sweeps=max_sweeps):
+        for _ in range(max_sweeps):
+            grads = engine.all_branch_gradients()
+            sweeps += 1
+            # Subgradient optimality: interior branches need |d1 - lam|
+            # small; branches pinned at the lower clamp are optimal
+            # whenever the penalised slope points further down.
+            worst = 0.0
+            for eid, (d1, _d2) in grads.items():
+                g = d1 - lam
+                if tree.edge(eid).length <= MIN_BRANCH_LENGTH and g < 0.0:
+                    continue
+                worst = max(worst, abs(g))
+            if worst < tolerance:
+                converged = True
+                break
+            old = {eid: tree.edge(eid).length for eid in grads}
+            eta = {
+                eid: 1.0 / max(abs(d2), CURVATURE_FLOOR)
+                for eid, (_d1, d2) in grads.items()
+            }
+            scale = 1.0
+            improved = False
+            lnl_new, f_new = lnl, best
+            for _ in range(30):
+                for eid, t0 in old.items():
+                    d1 = grads[eid][0]
+                    step = scale * eta[eid]
+                    # gradient ascent on lnL, then the prox of the L1
+                    # penalty (soft-threshold toward zero, clamped)
+                    t_new = t0 + step * d1 - step * lam
+                    tree.edge(eid).length = float(
+                        np.clip(t_new, MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH)
+                    )
+                lnl_new = engine.log_likelihood()
+                f_new = objective(lnl_new)
+                if f_new >= best - 1e-13:
+                    improved = True
+                    break
+                scale *= 0.5
+            if not improved:
+                for eid, t0 in old.items():
+                    tree.edge(eid).length = t0
+                engine.log_likelihood()  # restore validity at old lengths
+                converged = True
+                break
+            gain = f_new - best
+            lnl, best = lnl_new, f_new
+            if gain < objective_epsilon:
+                converged = True
+                break
+    sparsity = sum(
+        1 for e in edge_ids if tree.edge(e).length <= MIN_BRANCH_LENGTH
+    )
+    if _obs.ENABLED:
+        reg = _obs_metrics.get_registry()
+        reg.counter(
+            "repro_proxgrad_sweeps_total",
+            "proximal-gradient sweeps (one traversal each)",
+        ).inc(sweeps)
+        reg.gauge(
+            "repro_proxgrad_sparsity",
+            "branches pinned at MIN_BRANCH_LENGTH by the L1 penalty",
+        ).set(sparsity)
+    return ProxGradResult(
+        lnl=lnl,
+        objective=best,
+        lam=lam,
+        sweeps=sweeps,
+        sparsity=sparsity,
+        converged=converged,
+    )

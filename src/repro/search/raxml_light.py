@@ -36,7 +36,7 @@ from ..phylo.models import SubstitutionModel, gtr
 from ..phylo.parsimony import stepwise_addition_tree
 from ..phylo.rates import GammaRates
 from ..phylo.tree import Tree
-from .branch_opt import optimize_all_branches
+from .branch_opt import BRANCH_OPT_METHODS, optimize_all_branches
 from .checkpoint import Checkpoint, CheckpointWriter, resume_engine
 from .model_opt import optimize_model
 from .spr import SprRoundStats, spr_search
@@ -72,6 +72,9 @@ class SearchConfig:
     model_rounds: int = 2
     optimize_exchangeabilities: bool = True
     final_branch_passes: int = 4
+    #: Full-tree smoothing method ("newton", "gradient" or "prox"); a
+    #: resumed run keeps the checkpoint's method over this setting.
+    branch_opt_method: str = "newton"
     seed: int = 0
     checkpoint_path: str | Path | None = None
     checkpoint_every: int = 1
@@ -224,6 +227,17 @@ def ml_search(
     if gamma is None:
         gamma = GammaRates(alpha=1.0, n_categories=4)
 
+    branch_method = config.branch_opt_method
+    if resume_from is not None and resume_from.branch_opt_method:
+        # The checkpoint's method wins: the resumed trajectory must keep
+        # smoothing with the optimiser that produced it.
+        branch_method = resume_from.branch_opt_method
+    if branch_method not in BRANCH_OPT_METHODS:
+        raise ValueError(
+            f"branch_opt_method must be one of {BRANCH_OPT_METHODS}, "
+            f"got {branch_method!r}"
+        )
+
     writer = None
     if config.checkpoint_path is not None:
         writer = CheckpointWriter(
@@ -231,6 +245,7 @@ def ml_search(
             every=config.checkpoint_every,
             keep=config.checkpoint_keep,
             fault_plan=fault_plan,
+            branch_opt_method=branch_method,
         )
 
     resume_rank = -1
@@ -311,7 +326,9 @@ def ml_search(
 
             if resume_rank < STAGE_ORDER["initial_branch_opt"]:
                 with _obs.span("search.initial_branch_opt"):
-                    lnl = optimize_all_branches(engine, passes=2)
+                    lnl = optimize_all_branches(
+                        engine, passes=2, method=branch_method
+                    )
                 trajectory.append(("initial_branch_opt", lnl))
                 _obs.instant(
                     "search.progress", phase="initial_branch_opt", lnl=lnl
@@ -359,7 +376,9 @@ def ml_search(
                         optimize_exchangeabilities=config.optimize_exchangeabilities,
                     )
                     lnl = optimize_all_branches(
-                        engine, passes=config.final_branch_passes
+                        engine,
+                        passes=config.final_branch_passes,
+                        method=branch_method,
                     )
                 trajectory.append(("final", lnl))
                 _obs.instant("search.progress", phase="final", lnl=lnl)
