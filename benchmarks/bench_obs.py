@@ -116,17 +116,29 @@ def probe_cost_ns(loops: int) -> float:
 
 
 def dispatch_cost(engine: LikelihoodEngine, root: int, repeats: int) -> tuple[float, int]:
-    """(best seconds, dispatch count) for one cold full validation."""
-    best = float("inf")
+    """(median seconds, dispatch count) for one cold full validation.
+
+    Median, not best-of: the enabled/disabled comparison divides two of
+    these numbers, and the minimum of two noisy samples underflows —
+    the committed report once showed a *negative* enabled overhead.
+    The median is a consistent estimator of the same central cost on
+    both sides of the ratio.
+    """
+    times = []
     dispatches = 0
     for _ in range(repeats):
         engine.drop_caches()
         before = engine.profile.total_calls()
         t0 = time.perf_counter()
         engine.ensure_valid(root)
-        best = min(best, time.perf_counter() - t0)
+        times.append(time.perf_counter() - t0)
         dispatches = engine.profile.total_calls() - before
-    return best, dispatches
+    times.sort()
+    n = len(times)
+    median = (
+        times[n // 2] if n % 2 else (times[n // 2 - 1] + times[n // 2]) / 2
+    )
+    return median, dispatches
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -161,12 +173,14 @@ def main(argv: list[str] | None = None) -> int:
     disabled_overhead = (
         probe_ns * PROBES_PER_DISPATCH / disabled_ns_per_dispatch
     )
-    enabled_overhead = enabled_s / disabled_s - 1.0
+    # Clamp at zero: enabled tracing cannot genuinely be faster than
+    # disabled, so a negative ratio is residual measurement noise.
+    enabled_overhead = max(0.0, enabled_s / disabled_s - 1.0)
 
     report = {
         "benchmark": (
             "obs overhead: guard probes vs cold ensure_valid dispatch, "
-            "balanced tree, blocked backend, best of repeats"
+            "balanced tree, blocked backend, median of repeats"
         ),
         "backend": BACKEND,
         "n_taxa": N_TAXA,

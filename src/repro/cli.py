@@ -18,7 +18,11 @@ in practice — files in, files out:
                         from checkpoints, and report survival
 * ``repro trace``     — validate + summarise a saved Chrome trace (top
                         spans by self time, per-kernel histograms, wave
-                        timeline)
+                        timeline, hottest folded-stack paths)
+* ``repro bench``     — run benchmark suites into the unified perf
+                        ledger, ingest legacy ``BENCH_*.json`` reports,
+                        and diff ledger snapshots for regressions
+                        (``--compare BASELINE``)
 
 ``repro search`` and ``repro place`` accept ``--backend`` to pick the
 kernel implementation (reference / blocked / shadow); the
@@ -34,6 +38,14 @@ to record a Chrome trace of the run (open it in Perfetto, or feed it to
 ``repro trace``).  Setting ``REPRO_TRACE=/path.json`` enables the same
 for *any* subcommand.  While tracing is on, ``repro backends`` and
 ``repro plan`` also print the metrics-registry snapshot.
+
+Live observability: ``--serve-metrics PORT`` (search/place/faults, or
+``REPRO_METRICS_PORT`` for any subcommand) starts a background HTTP
+endpoint answering ``/metrics`` (Prometheus text), ``/healthz`` (worker
+liveness, arena leaks, checkpoint age; 503 when degraded), and
+``/progress`` (stage, lnL trajectory, ETA) while the run is going.
+``--profile OUT.folded`` (or ``REPRO_PROFILE``) samples the wall clock
+with a background profiler and writes folded stacks on exit.
 """
 
 from __future__ import annotations
@@ -113,6 +125,42 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the live-observability options (endpoint + profiler)."""
+    from .obs.profiler import PROFILE_ENV
+    from .obs.server import SERVE_ENV
+
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /healthz, and /progress on 127.0.0.1:PORT "
+            "while this run executes (0 picks an ephemeral port; also "
+            "enabled CLI-wide by $" + SERVE_ENV + ")"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="OUT.folded",
+        help=(
+            "sample the wall clock with a background profiler and write "
+            "folded stacks to OUT.folded on exit "
+            "(also enabled CLI-wide by $" + PROFILE_ENV + ")"
+        ),
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="profiler sampling rate (default 97 Hz, or $REPRO_PROFILE_HZ)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -180,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p_search)
     _add_parallel_flags(p_search)
     _add_trace_flag(p_search)
+    _add_obs_flags(p_search)
 
     p_stats = sub.add_parser("stats", help="alignment summary statistics")
     p_stats.add_argument("alignment", type=Path, help="FASTA or PHYLIP file")
@@ -196,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p_place)
     _add_parallel_flags(p_place)
     _add_trace_flag(p_place)
+    _add_obs_flags(p_place)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
 
@@ -260,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(p_faults)
     _add_trace_flag(p_faults)
+    _add_obs_flags(p_faults)
 
     p_trace = sub.add_parser(
         "trace", help="validate + summarise a saved Chrome trace"
@@ -269,7 +320,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument(
         "--top", type=int, default=15,
-        help="rows in the self-time table and wave timeline (default 15)",
+        help="rows in the self-time table, wave timeline, and hottest "
+             "folded-stack paths (default 15)",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run benchmark suites into the perf ledger / diff snapshots",
+    )
+    p_bench.add_argument(
+        "suites", nargs="*", metavar="SUITE",
+        help="benchmark suites to run (see --list); none = just "
+             "--import/--compare bookkeeping",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list the runnable suites"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="pass --quick to each suite (CI-sized workloads)",
+    )
+    p_bench.add_argument(
+        "--ledger", type=Path, default=Path("PERF_LEDGER.json"),
+        metavar="LEDGER.json",
+        help="ledger file to append to / compare as current "
+             "(default PERF_LEDGER.json)",
+    )
+    p_bench.add_argument(
+        "--import", dest="import_reports", type=Path, nargs="+",
+        metavar="BENCH.json", default=[],
+        help="ingest legacy BENCH_*.json reports into the ledger",
+    )
+    p_bench.add_argument(
+        "--compare", type=Path, metavar="BASELINE.json",
+        help="diff a baseline ledger against --current (default: the "
+             "--ledger file) and exit nonzero on regressions",
+    )
+    p_bench.add_argument(
+        "--current", type=Path, metavar="CURRENT.json",
+        help="ledger treated as 'current' for --compare "
+             "(default: the --ledger file)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="relative regression threshold for --compare "
+             "(default 0.10 = 10%%)",
+    )
+    p_bench.add_argument(
+        "--report-only", action="store_true",
+        help="with --compare: print regressions but always exit 0 "
+             "(advisory CI lanes)",
     )
     return parser
 
@@ -472,7 +572,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
     print(f"{args.trace_file}: valid Chrome trace")
     print()
-    print(render_summary(summarize_chrome(payload), top=args.top), end="")
+    summary = summarize_chrome(payload)
+    print(render_summary(summary, top=args.top), end="")
+    if summary.folded:
+        from .obs import render_hot_paths
+
+        print()
+        print(render_hot_paths(summary, n=args.top), end="")
     return 0
 
 
@@ -751,6 +857,112 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Runnable ``repro bench`` suites: name -> script under ``benchmarks/``.
+#: Each script exposes ``main(argv)`` accepting ``--quick``/``--out``.
+BENCH_SUITES = {
+    "obs": "bench_obs.py",
+    "backends": "bench_backends.py",
+    "scheduler": "bench_scheduler.py",
+    "gradients": "bench_gradients.py",
+    "parallel": "bench_parallel.py",
+}
+
+
+def _run_bench_suite(name: str, quick: bool) -> dict:
+    """Execute one benchmark script in-process; returns its JSON report.
+
+    The scripts live in ``benchmarks/`` (not an installed package), so
+    they are loaded by file path.  The report is written to a temporary
+    file and read back — the scripts' only stable output contract.
+    """
+    import importlib.util
+    import tempfile
+
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / BENCH_SUITES[name]
+    if not script.exists():
+        raise FileNotFoundError(f"benchmark script not found: {script}")
+    spec = importlib.util.spec_from_file_location(f"bench_{name}", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "report.json"
+        argv = ["--out", str(out)]
+        if quick:
+            argv.append("--quick")
+        rc = module.main(argv)
+        if rc not in (0, None):
+            raise RuntimeError(f"suite {name!r} exited with {rc}")
+        return json.loads(out.read_text())
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.ledger import (
+        DEFAULT_THRESHOLD,
+        Ledger,
+        compare,
+        entries_from_report,
+        load_report,
+        render_compare,
+    )
+
+    if args.list:
+        width = max(len(n) for n in BENCH_SUITES)
+        for name, script in sorted(BENCH_SUITES.items()):
+            print(f"  {name:<{width}}  benchmarks/{script}")
+        return 0
+
+    for suite in args.suites:
+        if suite not in BENCH_SUITES:
+            print(
+                f"error: unknown suite {suite!r} "
+                f"(choose from {', '.join(sorted(BENCH_SUITES))})"
+            )
+            return 2
+
+    mutated = False
+    ledger = (
+        Ledger.load(args.ledger) if args.ledger.exists() else Ledger()
+    )
+    for path in args.import_reports:
+        entries = load_report(path)
+        ledger.extend(entries)
+        mutated = True
+        print(f"imported {path}: {len(entries)} entries")
+
+    for suite in args.suites:
+        print(f"running suite {suite!r}{' (quick)' if args.quick else ''} ...")
+        report = _run_bench_suite(suite, quick=args.quick)
+        entries = entries_from_report(report, source=f"repro bench {suite}")
+        ledger.extend(entries)
+        mutated = True
+        print(f"  -> {len(entries)} ledger entries")
+
+    if mutated:
+        ledger.save(args.ledger)
+        print(f"ledger: {args.ledger} ({len(ledger)} entries total)")
+
+    if args.compare is not None:
+        baseline = Ledger.load(args.compare)
+        current_path = args.current or args.ledger
+        current = Ledger.load(current_path)
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        regressions, deltas = compare(baseline, current, threshold=threshold)
+        print(
+            f"baseline {args.compare} ({len(baseline)} entries) vs "
+            f"current {current_path} ({len(current)} entries)"
+        )
+        print(render_compare(regressions, deltas, threshold), end="")
+        if regressions and not args.report_only:
+            return 1
+        if regressions:
+            print("(report-only mode: not failing)")
+    elif not mutated and not args.suites:
+        print("nothing to do (no suites, --import, or --compare given)")
+    return 0
+
+
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "search": _cmd_search,
@@ -762,41 +974,86 @@ _HANDLERS = {
     "predict": _cmd_predict,
     "faults": _cmd_faults,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
+
+
+#: Subcommands that analyse artifacts rather than run workloads; the
+#: environment-driven observability hooks skip them.
+_PASSIVE_COMMANDS = ("trace", "bench")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    When ``--trace OUT.json`` is given (search/place) or the
+    When ``--trace OUT.json`` is given (search/place/faults) or the
     ``REPRO_TRACE`` environment variable names a path (any subcommand
-    except ``trace`` itself), the whole run executes with tracing
+    except the passive ones), the whole run executes with tracing
     enabled and the Chrome trace is written on the way out — even when
     the handler raises, so a crashed search still leaves its timeline
-    behind.
+    behind.  ``--serve-metrics PORT`` / ``REPRO_METRICS_PORT`` likewise
+    wraps the run in a live HTTP endpoint, and ``--profile OUT.folded``
+    / ``REPRO_PROFILE`` in a sampling profiler; all three tear down in
+    the same ``finally``.
     """
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if trace_path is None and args.command != "trace":
-        from .obs.spans import env_trace_path
+    serve_port = getattr(args, "serve_metrics", None)
+    profile_path = getattr(args, "profile", None)
+    if args.command not in _PASSIVE_COMMANDS:
+        if trace_path is None:
+            from .obs.spans import env_trace_path
 
-        trace_path = env_trace_path()
-    if trace_path is None:
+            trace_path = env_trace_path()
+        if serve_port is None:
+            from .obs.server import env_port
+
+            serve_port = env_port()
+        if profile_path is None:
+            from .obs.profiler import env_profile_path
+
+            profile_path = env_profile_path()
+
+    if trace_path is None and serve_port is None and profile_path is None:
         return _HANDLERS[args.command](args)
 
     from . import obs
 
-    obs.enable(description=f"repro {args.command}")
+    server = None
+    profiler = None
+    if trace_path is not None:
+        obs.enable(description=f"repro {args.command}")
+    if serve_port is not None:
+        server = obs.serve(port=serve_port)
+        print(
+            f"serving live metrics at {server.url} "
+            "(/metrics /healthz /progress)"
+        )
+    if profile_path is not None:
+        from .obs.profiler import env_profile_hz
+
+        hz = getattr(args, "profile_hz", None) or env_profile_hz()
+        profiler = obs.SamplingProfiler(hz=hz).start()
     try:
         return _HANDLERS[args.command](args)
     finally:
-        tracer = obs.get_tracer()
-        out = obs.write_chrome(tracer, trace_path)
-        print(
-            f"wrote trace: {out} ({tracer.n_events} events; "
-            f"inspect with 'repro trace {out}' or ui.perfetto.dev)"
-        )
-        obs.disable()
+        if profiler is not None:
+            profiler.stop()
+            out = profiler.write(profile_path)
+            print(
+                f"wrote profile: {out} ({profiler.n_samples} samples at "
+                f"{profiler.hz:g} Hz; flamegraph.pl/speedscope-ready)"
+            )
+        if server is not None:
+            server.stop()
+        if trace_path is not None:
+            tracer = obs.get_tracer()
+            out = obs.write_chrome(tracer, trace_path)
+            print(
+                f"wrote trace: {out} ({tracer.n_events} events; "
+                f"inspect with 'repro trace {out}' or ui.perfetto.dev)"
+            )
+            obs.disable()
 
 
 if __name__ == "__main__":

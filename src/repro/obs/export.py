@@ -28,6 +28,8 @@ __all__ = [
     "write_chrome",
     "flame_folded",
     "flame_text",
+    "render_folded",
+    "write_folded",
 ]
 
 #: Synthetic process id for the single simulated process.
@@ -186,11 +188,17 @@ def flame_folded(tracer: Tracer) -> dict[str, float]:
     return out
 
 
-def flame_text(tracer: Tracer, width: int = 40, top: int = 25) -> str:
-    """Flamegraph-style text summary: top collapsed stacks with bars."""
-    folded = flame_folded(tracer)
+def render_folded(
+    folded: dict[str, float], width: int = 40, top: int = 25
+) -> str:
+    """Text flamegraph of any collapsed-stack dict (weights in μs).
+
+    Shared by the span flamegraph (:func:`flame_text`), the sampling
+    profiler's report, and ``repro trace --top``: one ``stack  self
+    bar`` line per ranked stack plus a totals footer.
+    """
     if not folded:
-        return "(no spans recorded)\n"
+        return "(no stacks recorded)\n"
     total = sum(folded.values()) or 1.0
     ranked = sorted(folded.items(), key=lambda kv: -kv[1])[:top]
     longest = max(len(k) for k, _ in ranked)
@@ -202,3 +210,29 @@ def flame_text(tracer: Tracer, width: int = 40, top: int = 25) -> str:
         f"{len(folded)} unique stacks, {total / 1e3:.3f} ms total self time"
     )
     return "\n".join(lines) + "\n"
+
+
+def flame_text(tracer: Tracer, width: int = 40, top: int = 25) -> str:
+    """Flamegraph-style text summary: top collapsed stacks with bars."""
+    folded = flame_folded(tracer)
+    if not folded:
+        return "(no spans recorded)\n"
+    return render_folded(folded, width=width, top=top)
+
+
+def write_folded(folded: dict[str, float], path: str | Path) -> Path:
+    """Write a collapsed-stack dict in Brendan Gregg's folded format.
+
+    One ``stack weight`` line per entry with integer-rounded μs weights,
+    heaviest first — the input format of ``flamegraph.pl`` and
+    speedscope.  Atomic for the same reason as :func:`write_chrome`.
+    """
+    from ..util import atomic_write_text
+
+    path = Path(path)
+    lines = [
+        f"{key} {max(0, round(us))}"
+        for key, us in sorted(folded.items(), key=lambda kv: -kv[1])
+    ]
+    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+    return path

@@ -34,7 +34,170 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "log_buckets",
+    "escape_help",
+    "exposition_name",
+    "lint_metric_names",
+    "parse_prometheus_text",
 ]
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string per the Prometheus text exposition format.
+
+    Backslash first (so escapes don't double-escape), then newline —
+    the only two characters the format requires escaping in HELP text.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def exposition_name(name: str, metric) -> str:
+    """The name a metric is exposed under on ``/metrics``.
+
+    Counters get the conventional ``_total`` suffix appended when the
+    registered name lacks it; gauges and histograms pass through.  The
+    internal registry name is untouched — snapshots and Chrome traces
+    keep the registered spelling.
+    """
+    if isinstance(metric, Counter) and not name.endswith("_total"):
+        return name + "_total"
+    return name
+
+
+def lint_metric_names(registry: "MetricsRegistry") -> list[str]:
+    """Exposition-format problems in a registry's metric names.
+
+    Returns one human-readable complaint per issue (empty = clean):
+    counters not ending in ``_total``, names that are not valid
+    Prometheus identifiers, and reserved suffixes (``_bucket``,
+    ``_sum``, ``_count``) on non-histogram metrics, which would collide
+    with histogram sample lines.
+    """
+    import re
+
+    ident = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+    problems: list[str] = []
+    for name in registry.names():
+        m = registry.get(name)
+        if not ident.match(name):
+            problems.append(f"{name}: not a valid metric identifier")
+        if isinstance(m, Counter) and not name.endswith("_total"):
+            problems.append(
+                f"{name}: counter should end in _total "
+                f"(exposed as {exposition_name(name, m)})"
+            )
+        if not isinstance(m, Histogram) and name.endswith(
+            ("_bucket", "_sum", "_count")
+        ):
+            problems.append(
+                f"{name}: reserved histogram suffix on a "
+                f"{type(m).__name__.lower()}"
+            )
+    return problems
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Strict parser for the text exposition format we emit.
+
+    Returns ``{metric_name: {"type", "help", "samples": [(name, labels,
+    value), ...]}}`` and raises ``ValueError`` on anything malformed:
+    unknown comment keywords, samples with no preceding TYPE, TYPE
+    re-declarations, counters without ``_total``, out-of-order
+    histogram buckets, or unparsable values.  Used by the round-trip
+    unit tests and the CI ``obs-live`` job to validate a real scrape.
+    """
+    import re
+
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$"
+    )
+    families: dict[str, dict] = {}
+    current: str | None = None
+
+    def family_of(sample_name: str) -> str | None:
+        if sample_name in families:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base]["type"] == "histogram":
+                    return base
+        return None
+
+    for ln, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {ln}: malformed comment: {raw!r}")
+            keyword, name = parts[1], parts[2]
+            if keyword == "HELP":
+                fam = families.setdefault(
+                    name, {"type": None, "help": None, "samples": []}
+                )
+                if fam["help"] is not None:
+                    raise ValueError(f"line {ln}: duplicate HELP for {name}")
+                fam["help"] = parts[3] if len(parts) > 3 else ""
+            else:
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {ln}: bad TYPE line: {raw!r}")
+                fam = families.setdefault(
+                    name, {"type": None, "help": None, "samples": []}
+                )
+                if fam["type"] is not None:
+                    raise ValueError(f"line {ln}: duplicate TYPE for {name}")
+                fam["type"] = parts[3]
+                current = name
+            continue
+        m = sample_re.match(line)
+        if not m:
+            raise ValueError(f"line {ln}: malformed sample: {raw!r}")
+        sname, rawlabels, rawvalue = m.groups()
+        try:
+            value = float(rawvalue)
+        except ValueError as exc:
+            raise ValueError(f"line {ln}: bad value {rawvalue!r}") from exc
+        labels: dict[str, str] = {}
+        if rawlabels:
+            body = rawlabels[1:-1].rstrip(",")
+            if body:
+                for pair in body.split(","):
+                    k, _, v = pair.partition("=")
+                    if not (len(v) >= 2 and v[0] == '"' and v[-1] == '"'):
+                        raise ValueError(
+                            f"line {ln}: unquoted label value in {raw!r}"
+                        )
+                    labels[k.strip()] = v[1:-1]
+        fam_name = family_of(sname)
+        if fam_name is None or fam_name != current:
+            raise ValueError(
+                f"line {ln}: sample {sname!r} outside its TYPE block"
+            )
+        fam = families[fam_name]
+        if fam["type"] == "counter" and not sname.endswith("_total"):
+            raise ValueError(f"line {ln}: counter sample without _total")
+        fam["samples"].append((sname, labels, value))
+
+    for name, fam in families.items():
+        if fam["type"] is None:
+            raise ValueError(f"metric {name}: HELP without TYPE")
+        if fam["type"] == "histogram":
+            buckets = [
+                (labels.get("le"), value)
+                for sname, labels, value in fam["samples"]
+                if sname.endswith("_bucket")
+            ]
+            if not buckets or buckets[-1][0] != "+Inf":
+                raise ValueError(f"metric {name}: histogram missing +Inf")
+            counts = [v for _, v in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"metric {name}: bucket counts not cumulative"
+                )
+    return families
 
 
 def log_buckets(
@@ -245,25 +408,35 @@ class MetricsRegistry:
         return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one block per metric)."""
+        """Prometheus text exposition format (one block per metric).
+
+        Counter names are normalised to the ``_total`` convention via
+        :func:`exposition_name` and HELP text is escaped via
+        :func:`escape_help`; the output round-trips through the strict
+        :func:`parse_prometheus_text` parser (a unit test holds it to
+        that).
+        """
         lines: list[str] = []
         for name, m in sorted(self._metrics.items()):
+            exposed = exposition_name(name, m)
             if m.help:
-                lines.append(f"# HELP {name} {m.help}")
+                lines.append(f"# HELP {exposed} {escape_help(m.help)}")
             if isinstance(m, Counter):
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {m.value:g}")
+                lines.append(f"# TYPE {exposed} counter")
+                lines.append(f"{exposed} {m.value:g}")
             elif isinstance(m, Gauge):
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {m.value:g}")
+                lines.append(f"# TYPE {exposed} gauge")
+                lines.append(f"{exposed} {m.value:g}")
             else:
-                lines.append(f"# TYPE {name} histogram")
+                lines.append(f"# TYPE {exposed} histogram")
                 cumulative = m.cumulative()
                 for bound, c in zip(m.bounds, cumulative):
-                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {c}')
-                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
-                lines.append(f"{name}_sum {m.total:g}")
-                lines.append(f"{name}_count {m.count}")
+                    lines.append(f'{exposed}_bucket{{le="{bound:g}"}} {c}')
+                lines.append(
+                    f'{exposed}_bucket{{le="+Inf"}} {cumulative[-1]}'
+                )
+                lines.append(f"{exposed}_sum {m.total:g}")
+                lines.append(f"{exposed}_count {m.count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self) -> None:

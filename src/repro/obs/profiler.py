@@ -1,0 +1,246 @@
+"""Sampling wall-clock profiler attributing time between the spans.
+
+The span tracer (:mod:`repro.obs.spans`) answers "how long did the
+*instrumented* scopes take"; this module answers "where inside (and
+between) them does the wall clock actually go".  A background daemon
+thread wakes at a configurable rate, reads every live thread's current
+Python frame via ``sys._current_frames()``, and folds each sample into
+a collapsed-stack histogram:
+
+    <lane>;<open spans, outermost first>;<python frames, outermost first>
+
+The *lane* is the obs track for the tracer-owning thread (so simulated
+MPI ranks driven through ``track_scope`` keep their per-rank identity)
+and the thread name otherwise; the span part is the thread's currently
+open context-manager span stack (:func:`~repro.obs.spans
+.current_span_stack`); the frame part is the innermost
+``max_py_frames`` Python functions — the hot-path attribution the spans
+alone cannot give.  Output is Brendan Gregg's ``folded`` format through
+the flamegraph exporter (:func:`repro.obs.export.render_folded` /
+:func:`~repro.obs.export.write_folded`), so ``flamegraph.pl`` and
+speedscope both load it.
+
+**Cost model.**  While no profiler is running there is *nothing* — no
+thread, no hook, no allocation; the only standing cost anywhere is the
+span-stack bookkeeping inside live spans, which itself only exists
+while tracing is enabled (the quality gates hold the disabled-path cost
+under the same 2% bound as the tracer's guards).  While running, the
+profiler costs one frame walk per live thread per sample — at the
+default 97 Hz well under 1% of a busy interpreter.
+
+Enable from the CLI with ``--profile OUT.folded [--profile-hz HZ]`` on
+``repro search``/``repro place``, or the :data:`PROFILE_ENV` /
+:data:`PROFILE_HZ_ENV` environment variables (any subcommand).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+from . import spans as _spans
+
+__all__ = [
+    "PROFILE_ENV",
+    "PROFILE_HZ_ENV",
+    "DEFAULT_HZ",
+    "SamplingProfiler",
+    "env_profile_path",
+    "env_profile_hz",
+]
+
+#: Environment variable naming the folded-stack output path; when set,
+#: the CLI profiles any subcommand and writes there on exit.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Environment variable overriding the sampling rate (samples/second).
+PROFILE_HZ_ENV = "REPRO_PROFILE_HZ"
+
+#: Default sampling rate.  Prime, so the sampler cannot phase-lock onto
+#: periodic work (the classic 100 Hz vs 10 ms-timer resonance).
+DEFAULT_HZ = 97.0
+
+
+class SamplingProfiler:
+    """Background wall-clock sampler with span-stack attribution.
+
+    Parameters
+    ----------
+    hz:
+        Samples per second (wall clock).  Each sample sweeps *every*
+        live thread, so blocked threads accumulate wall time too — this
+        is a wall-clock profiler, not a CPU profiler.
+    max_py_frames:
+        Innermost Python frames kept per sample (deeper callers are
+        dropped, keeping folded keys bounded).
+    include_idle:
+        When ``False``, samples whose innermost frame is the profiler's
+        own wait loop or a known idle wait (``Thread._bootstrap`` level
+        waits) are still counted — only the profiler's own thread is
+        ever excluded.  Kept as a knob for tests.
+
+    Use as a context manager or via :meth:`start`/:meth:`stop`.  Sample
+    counts accumulate across start/stop cycles until :meth:`reset`.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        max_py_frames: int = 8,
+        include_idle: bool = True,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        if max_py_frames < 0:
+            raise ValueError("max_py_frames must be >= 0")
+        self.hz = float(hz)
+        self.max_py_frames = int(max_py_frames)
+        self.include_idle = include_idle
+        self.samples: dict[str, int] = {}
+        self.n_sweeps = 0
+        self.n_samples = 0
+        self.started_at: float | None = None
+        self.wall_seconds = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is currently live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Launch the sampling thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and join the thread; totals stay readable."""
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+        if self.started_at is not None:
+            self.wall_seconds += time.perf_counter() - self.started_at
+            self.started_at = None
+        return self
+
+    def reset(self) -> None:
+        """Drop all accumulated samples (a running thread keeps going)."""
+        with self._lock:
+            self.samples.clear()
+            self.n_sweeps = 0
+            self.n_samples = 0
+            self.wall_seconds = 0.0
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------
+    def _loop(self) -> None:
+        period = 1.0 / self.hz
+        while not self._stop.wait(period):
+            self._sample_once()
+
+    def _thread_lanes(self) -> dict[int, str]:
+        """ident -> lane name for every live thread."""
+        lanes = {t.ident: t.name for t in threading.enumerate() if t.ident}
+        if _spans.ENABLED:
+            # The tracer's current track names the lane of the thread
+            # driving it (simulated ranks ride the main thread).
+            main = threading.main_thread().ident
+            if main in lanes:
+                lanes[main] = _spans.get_tracer().current_track
+        else:
+            main = threading.main_thread().ident
+            if main in lanes:
+                lanes[main] = "main"
+        return lanes
+
+    def _sample_once(self) -> None:
+        own = threading.get_ident()
+        lanes = self._thread_lanes()
+        frames = sys._current_frames()
+        now_keys: list[str] = []
+        for tid, frame in frames.items():
+            if tid == own:
+                continue
+            parts = [lanes.get(tid, f"thread-{tid}")]
+            parts.extend(_spans.current_span_stack(tid))
+            if self.max_py_frames:
+                py: list[str] = []
+                f = frame
+                while f is not None and len(py) < self.max_py_frames:
+                    code = f.f_code
+                    if code.co_filename != __file__:
+                        py.append(getattr(code, "co_qualname", code.co_name))
+                    f = f.f_back
+                parts.extend(reversed(py))  # outermost first
+            now_keys.append(";".join(parts))
+        del frames
+        with self._lock:
+            self.n_sweeps += 1
+            self.n_samples += len(now_keys)
+            for key in now_keys:
+                self.samples[key] = self.samples.get(key, 0) + 1
+
+    # -- output ---------------------------------------------------------
+    def folded(self) -> dict[str, float]:
+        """Collapsed stacks -> sampled wall microseconds.
+
+        Weights are ``count / hz`` seconds expressed in microseconds, so
+        they are directly comparable with the span flamegraph's
+        self-time weights.
+        """
+        period_us = 1e6 / self.hz
+        with self._lock:
+            return {k: n * period_us for k, n in self.samples.items()}
+
+    def report(self, width: int = 40, top: int = 25) -> str:
+        """Terminal flamegraph summary of the accumulated samples."""
+        from .export import render_folded
+
+        head = (
+            f"sampling profiler: {self.n_samples} samples over "
+            f"{self.n_sweeps} sweeps at {self.hz:g} Hz\n"
+        )
+        return head + render_folded(self.folded(), width=width, top=top)
+
+    def write(self, path) -> "os.PathLike | str":
+        """Write the accumulated samples in folded format; returns path."""
+        from .export import write_folded
+
+        return write_folded(self.folded(), path)
+
+
+def env_profile_path() -> str | None:
+    """The :data:`PROFILE_ENV` output path, or ``None`` when unset."""
+    path = os.environ.get(PROFILE_ENV, "").strip()
+    return path or None
+
+
+def env_profile_hz() -> float:
+    """The :data:`PROFILE_HZ_ENV` rate, or :data:`DEFAULT_HZ`."""
+    raw = os.environ.get(PROFILE_HZ_ENV, "").strip()
+    if not raw:
+        return DEFAULT_HZ
+    try:
+        hz = float(raw)
+    except ValueError:
+        return DEFAULT_HZ
+    return hz if hz > 0 else DEFAULT_HZ

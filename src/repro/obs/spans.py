@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -53,6 +54,7 @@ __all__ = [
     "track_scope",
     "traced",
     "env_trace_path",
+    "current_span_stack",
 ]
 
 #: Environment variable naming the Chrome-trace output path; when set,
@@ -103,10 +105,32 @@ class InstantRecord:
     seq: int
 
 
+#: Per-thread stacks of the *currently open* context-manager spans,
+#: keyed by ``threading.get_ident()``.  Maintained only while tracing is
+#: on (``_LiveSpan`` objects only exist then) and read by the sampling
+#: profiler (:mod:`repro.obs.profiler`) to attribute wall-clock samples
+#: to the innermost instrumented scope.
+_OPEN_STACKS: dict[int, list[str]] = {}
+
+
+def current_span_stack(thread_id: int | None = None) -> tuple[str, ...]:
+    """Names of the open context-manager spans of one thread, outermost
+    first (empty while tracing is off or nothing is open).
+
+    The pre-measured ``add_complete`` fast path never *opens* a span, so
+    kernel-dispatch intervals do not appear here — by design: the
+    sampling profiler uses this stack to attribute time *between* the
+    instrumented spans.
+    """
+    if thread_id is None:
+        thread_id = threading.get_ident()
+    return tuple(_OPEN_STACKS.get(thread_id, ()))
+
+
 class _LiveSpan:
     """Context manager recording one span into a tracer on exit."""
 
-    __slots__ = ("_tracer", "_name", "_args", "_t0")
+    __slots__ = ("_tracer", "_name", "_args", "_t0", "_stack")
 
     def __init__(self, tracer: "Tracer", name: str, args: dict | None) -> None:
         self._tracer = tracer
@@ -114,12 +138,18 @@ class _LiveSpan:
         self._args = args
 
     def __enter__(self) -> "_LiveSpan":
+        stack = _OPEN_STACKS.setdefault(threading.get_ident(), [])
+        stack.append(self._name)
+        self._stack = stack
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
+        t1 = time.perf_counter()
+        if self._stack and self._stack[-1] == self._name:
+            self._stack.pop()
         self._tracer.add_complete(
-            self._name, self._t0, time.perf_counter(), args=self._args
+            self._name, self._t0, t1, args=self._args
         )
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "validate_chrome",
     "summarize_chrome",
     "render_summary",
+    "render_hot_paths",
 ]
 
 #: Prefix the kernel dispatch seam uses for its span names.
@@ -158,6 +159,12 @@ class TraceSummary:
     #: (ts_us, dur_us, width, batched) per executed wave, file order
     wave_timeline: list[tuple[float, float, int, bool]]
     metrics: dict | None = None
+    #: ``track;outer;inner`` collapsed stacks -> self-time microseconds
+    folded: dict[str, float] = field(default_factory=dict)
+
+    def hottest_paths(self, n: int = 10) -> list[tuple[str, float]]:
+        """The ``n`` heaviest collapsed-stack paths by self time."""
+        return sorted(self.folded.items(), key=lambda kv: -kv[1])[:n]
 
     def top_by_self_time(self, n: int = 15) -> list[SpanAggregate]:
         """Span aggregates ranked by total self time, descending."""
@@ -190,6 +197,7 @@ def summarize_chrome(payload: dict) -> TraceSummary:
     spans: dict[str, SpanAggregate] = {}
     instants: dict[str, int] = {}
     waves: list[tuple[float, float, int, bool]] = []
+    folded: dict[str, float] = {}
     stacks: dict[tuple[int, int], list[list]] = {}
     t_min, t_max = float("inf"), float("-inf")
     for e in events:
@@ -207,8 +215,14 @@ def summarize_chrome(payload: dict) -> TraceSummary:
         elif ph == "E":
             name, start, child_us, args = stack.pop()
             dur = ts - start
+            self_us = max(0.0, dur - child_us)
             agg = spans.setdefault(name, SpanAggregate(name=name))
-            agg.add(dur, max(0.0, dur - child_us))
+            agg.add(dur, self_us)
+            path = ";".join(
+                [names.get(key, f"track-{key[1]}"),
+                 *[f[0] for f in stack], name]
+            )
+            folded[path] = folded.get(path, 0.0) + self_us
             if stack:
                 stack[-1][2] += dur
             if name == "wave":
@@ -226,6 +240,7 @@ def summarize_chrome(payload: dict) -> TraceSummary:
         instants=instants,
         wave_timeline=waves,
         metrics=payload.get("otherData", {}).get("metrics"),
+        folded=folded,
     )
 
 
@@ -301,3 +316,19 @@ def render_summary(summary: TraceSummary, top: int = 15) -> str:
         lines.append("")
         lines.append(f"embedded metrics snapshot: {len(summary.metrics)} series")
     return "\n".join(lines) + "\n"
+
+
+def render_hot_paths(summary: TraceSummary, n: int = 10) -> str:
+    """The ``repro trace FILE --top N`` report: hottest folded paths.
+
+    Renders the trace's collapsed-stack self times through the shared
+    flamegraph formatter, so saved traces are inspectable without
+    loading Perfetto.
+    """
+    from .export import render_folded
+
+    head = (
+        f"hottest {min(n, len(summary.folded))} of {len(summary.folded)} "
+        f"folded stack paths (self time):\n"
+    )
+    return head + render_folded(summary.folded, top=n)

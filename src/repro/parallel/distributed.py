@@ -26,6 +26,7 @@ from ..core.backends import KernelBackend, KernelProfile, get_backend
 from ..core.engine import LikelihoodEngine
 from ..faults.plan import RankFailure
 from ..obs import metrics as _obs_metrics
+from ..obs import server as _obs_server
 from ..obs import spans as _obs
 from ..core.schedule import WaveStats
 from ..phylo.alignment import PatternAlignment
@@ -311,6 +312,14 @@ class DistributedEngine:
                 "repro_rank_failures_total",
                 "injected rank deaths absorbed by degradation",
             ).inc()
+        if _obs_server.ENABLED:
+            _obs_server.health_event(
+                "rank_death",
+                rank=rank,
+                adopter=adopter,
+                survivors=len(survivors),
+                recovery_us=dt * 1e6,
+            )
 
     def _allreduce(self, parts: list) -> np.ndarray:
         """One AllReduce with rank-failure recovery (degrade policy).

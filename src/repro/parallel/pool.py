@@ -49,6 +49,7 @@ from ..core.cat import CatLikelihoodEngine
 from ..core.engine import LikelihoodEngine
 from ..core.schedule import WaveStats
 from ..core.traversal import KernelCounters, KernelKind
+from ..obs import server as _obs_server
 from ..obs import spans as _obs
 from ..phylo.alignment import PatternAlignment
 from ..phylo.rates import CatRates, GammaRates
@@ -552,6 +553,8 @@ class WorkerPool:
         self._finalizer = weakref.finalize(
             self, _shutdown, self._procs, self._conns, self.arena
         )
+        if _obs_server.ENABLED:
+            _obs_server.register_pool(self)
 
     # -- liveness -------------------------------------------------------
     @property
@@ -622,6 +625,13 @@ class WorkerPool:
         if _obs.ENABLED:
             _obs.instant(
                 "pool.worker_adopted",
+                dead=sorted(self.dead),
+                adopter=self.alive[0],
+                survivors=len(self.alive),
+            )
+        if _obs_server.ENABLED:
+            _obs_server.health_event(
+                "worker_death",
                 dead=sorted(self.dead),
                 adopter=self.alive[0],
                 survivors=len(self.alive),

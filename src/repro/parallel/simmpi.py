@@ -212,10 +212,10 @@ class SimMPI:
                 "repro_allreduce_total", "simulated AllReduce collectives"
             ).inc()
             reg.counter(
-                "repro_allreduce_bytes", "bytes summed across ranks"
+                "repro_allreduce_bytes_total", "bytes summed across ranks"
             ).inc(n_bytes * self.n_ranks)
             reg.counter(
-                "repro_allreduce_modelled_seconds",
+                "repro_allreduce_modelled_seconds_total",
                 "modelled AllReduce wall time",
             ).inc(dt)
         return np.sum(arrays, axis=0)

@@ -17,6 +17,18 @@ from .costmodel import (
     wave_schedule_costs,
 )
 from .energy import energy_wh, relative_energy_savings
+from .ledger import (
+    Ledger,
+    LedgerEntry,
+    MetricDelta,
+    compare,
+    config_fingerprint,
+    entries_from_report,
+    host_info,
+    load_report,
+    metric_direction,
+    render_compare,
+)
 from .platforms import (
     BASELINE,
     NVIDIA_K20,
@@ -49,6 +61,16 @@ __all__ = [
     "wave_schedule_costs",
     "energy_wh",
     "relative_energy_savings",
+    "Ledger",
+    "LedgerEntry",
+    "MetricDelta",
+    "compare",
+    "config_fingerprint",
+    "entries_from_report",
+    "host_info",
+    "load_report",
+    "metric_direction",
+    "render_compare",
     "BASELINE",
     "NVIDIA_K20",
     "TABLE1_PLATFORMS",

@@ -34,6 +34,7 @@ from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
 from ..faults.plan import FaultPlan, InjectedCrash
 from ..obs import metrics as _obs_metrics
+from ..obs import server as _obs_server
 from ..obs import spans as _obs
 from ..phylo.alignment import PatternAlignment
 from ..phylo.models import SubstitutionModel
@@ -345,6 +346,8 @@ class CheckpointWriter:
                 "repro_checkpoint_write_seconds",
                 "wall time of one rotated atomic checkpoint write",
             ).observe(dt)
+        if _obs_server.ENABLED:
+            _obs_server.checkpoint_written(str(self.path), step)
         return ckpt
 
     def maybe_write(

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.backends import KernelBackend, get_backend, make_engine
+from ..obs import server as _obs_server
 from ..phylo.alignment import Alignment, PatternAlignment
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import GammaRates
@@ -133,6 +134,14 @@ def place_queries(
     # Parallel modes build per-worker backend instances from the *name*;
     # the serial path shares one resolved instance across queries.
     resolved = backend if workers > 1 else get_backend(backend)
+    if _obs_server.ENABLED:
+        _obs_server.progress_begin(
+            "place",
+            total_steps=len(queries),
+            queries=len(queries),
+            reference_taxa=reference_alignment.n_taxa,
+            workers=workers,
+        )
     results: list[PlacementResult] = []
     for name, seq in queries.items():
         merged = _merge_alignment(reference_alignment, {name: seq}).compress()
@@ -190,6 +199,16 @@ def place_queries(
             for p, w in zip(placements, weights)
         ]
         results.append(PlacementResult(query=name, placements=placements))
+        if _obs_server.ENABLED:
+            _obs_server.progress_update(
+                "place", lnl=placements[0].log_likelihood if placements else None
+            )
+    if _obs_server.ENABLED:
+        _obs_server.progress_finish(
+            results[-1].placements[0].log_likelihood
+            if results and results[-1].placements
+            else None
+        )
     return results
 
 

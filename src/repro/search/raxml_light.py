@@ -29,6 +29,7 @@ from ..core.backends import KernelBackend, make_engine
 from ..core.engine import LikelihoodEngine
 from ..faults.plan import FaultError, FaultPlan, InjectedCrash
 from ..obs import metrics as _obs_metrics
+from ..obs import server as _obs_server
 from ..obs import spans as _obs
 from ..core.traversal import KernelCounters
 from ..phylo.alignment import Alignment, PatternAlignment
@@ -140,6 +141,11 @@ class _Progress:
         self.step += 1
         self.stage, self.lnl = stage, lnl
         self.spr_round, self.spr_radius_idx = spr_round, spr_radius_idx
+        if _obs_server.ENABLED:
+            _obs_server.progress_update(
+                stage, lnl=lnl,
+                spr_round=spr_round, spr_radius_idx=spr_radius_idx,
+            )
         if self.fault_plan is not None and self.fault_plan.crash_at_step(step):
             raise InjectedCrash(step)
         if self.writer is not None:
@@ -288,6 +294,19 @@ def ml_search(
         first_step = 0
 
     progress = _Progress(engine, writer, fault_plan, first_step=first_step)
+    if _obs_server.ENABLED:
+        # The step clock: 4 stage ticks (start, initial branch opt,
+        # model opt, final) plus one per SPR round, minus whatever a
+        # resumed checkpoint already completed.
+        planned = 4 + config.max_spr_rounds
+        _obs_server.progress_begin(
+            "ml_search",
+            total_steps=max(planned - first_step, 1),
+            taxa=patterns.n_taxa,
+            patterns=patterns.n_patterns,
+            resumed=resume_from is not None,
+            workers=workers,
+        )
     trajectory: list[tuple[str, float]] = []
     history: list[SprRoundStats] = []
     with _obs.span(
@@ -392,9 +411,16 @@ def ml_search(
             # must not leak actual shared-memory segments.
             _close_engine(engine)
             raise
-        except FaultError:
+        except FaultError as exc:
             # Unrecoverable-but-anticipated fault: abort with a final
             # checkpoint so the run is restartable, then propagate.
+            if _obs_server.ENABLED:
+                _obs_server.health_event(
+                    "search_abort",
+                    stage=progress.stage,
+                    step=progress.step,
+                    error=type(exc).__name__,
+                )
             progress.emergency_write()
             _close_engine(engine)
             raise
@@ -402,6 +428,8 @@ def ml_search(
             _close_engine(engine)
             raise
 
+    if _obs_server.ENABLED:
+        _obs_server.progress_finish(lnl)
     return SearchResult(
         tree=engine.tree,
         lnl=lnl,

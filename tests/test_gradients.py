@@ -129,7 +129,11 @@ class TestGradientCorrectness:
         for eid in sample:
             fd = richardson_fd(engine, int(eid))
             d1 = grads[int(eid)][0]
-            assert abs(fd - d1) <= 1e-8 * max(1.0, abs(d1), abs(fd))
+            # 5e-8, not 1e-8: the FD itself carries ~2e-8 roundoff
+            # (eps * |lnL| / h with lnL in the thousands at h ~ 3e-4),
+            # so a tighter bound flakes on the FD, not the gradient —
+            # the exact oracle parity above is the correctness gate.
+            assert abs(fd - d1) <= 5e-8 * max(1.0, abs(d1), abs(fd))
 
     @pytest.mark.parametrize("backend", ["reference", "blocked", "shadow"])
     def test_backends_bit_identical_to_per_branch(self, backend):
