@@ -53,6 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 __all__ = ["main", "build_parser"]
@@ -246,6 +247,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p_place)
     _add_trace_flag(p_place)
     _add_obs_flags(p_place)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running placement server"
+    )
+    p_serve.add_argument("port", type=int, nargs="?", default=8752,
+                         help="listen port (0 picks an ephemeral one)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--ref", type=Path,
+                         help="reference tree (Newick) for the initial tenant")
+    p_serve.add_argument("--aln", type=Path,
+                         help="reference alignment (FASTA/PHYLIP) for the "
+                              "initial tenant")
+    p_serve.add_argument("--name", default="default",
+                         help="initial tenant name (default: 'default')")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="max queries fused into one dispatch")
+    p_serve.add_argument("--batch-wait-ms", type=float, default=20.0,
+                         help="batching window after the first request")
+    p_serve.add_argument("--max-tenants", type=int, default=4,
+                         help="resident reference trees (LRU beyond this)")
+    p_serve.add_argument("--max-resident", type=int, default=None,
+                         help="memsave cap for the warm reference engine")
+    p_serve.add_argument("--keep-best", type=int, default=5)
+    p_serve.add_argument("--allow-fault-injection", action="store_true",
+                         help="enable POST /faults/kill-worker")
+    _add_backend_flag(p_serve)
+    _add_parallel_flags(p_serve)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
 
@@ -520,6 +548,58 @@ def _cmd_place(args: argparse.Namespace) -> int:
             args.out, json.dumps(to_jplace(results, tree), indent=2)
         )
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .phylo import Tree, read_alignment
+    from .serve import PlacementServer
+
+    if bool(args.ref) != bool(args.aln):
+        print("--ref and --aln must be given together", file=sys.stderr)
+        return 2
+    server = PlacementServer(
+        port=args.port,
+        host=args.host,
+        max_batch=args.max_batch,
+        batch_wait_s=args.batch_wait_ms / 1000.0,
+        max_tenants=args.max_tenants,
+        keep_best=args.keep_best,
+        max_resident=args.max_resident,
+        backend=args.backend,
+        workers=args.workers,
+        execution=args.execution,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    try:
+        if args.ref:
+            tenant = server.add_tenant(
+                args.name,
+                read_alignment(args.aln),
+                Tree.from_newick(args.ref.read_text()),
+            )
+            print(
+                f"tenant {args.name!r}: {tenant.session.reference.n_taxa} "
+                f"reference taxa, lnL {tenant.session.reference_lnl:.2f}"
+            )
+        print(f"placement server listening on {server.url}")
+        # SIGTERM must tear down like Ctrl-C: worker pools hold
+        # /dev/shm arena segments that only unlink on server.stop().
+        import signal
+
+        def _terminate(signum, frame):  # pragma: no cover - signal path
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+    finally:
+        server.stop()
     return 0
 
 
@@ -865,6 +945,7 @@ BENCH_SUITES = {
     "scheduler": "bench_scheduler.py",
     "gradients": "bench_gradients.py",
     "parallel": "bench_parallel.py",
+    "serving": "bench_serving.py",
 }
 
 
@@ -967,6 +1048,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "search": _cmd_search,
     "place": _cmd_place,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "backends": _cmd_backends,
     "plan": _cmd_plan,
@@ -978,9 +1060,10 @@ _HANDLERS = {
 }
 
 
-#: Subcommands that analyse artifacts rather than run workloads; the
-#: environment-driven observability hooks skip them.
-_PASSIVE_COMMANDS = ("trace", "bench")
+#: Subcommands the environment-driven observability hooks skip: trace
+#: and bench analyse artifacts rather than run workloads, and serve
+#: manages the obs gate over its own lifetime.
+_PASSIVE_COMMANDS = ("trace", "bench", "serve")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -84,6 +84,7 @@ __all__ = [
     "register_backend",
     "available_backends",
     "get_backend",
+    "resolve_backend_name",
     "make_engine",
 ]
 
@@ -1328,6 +1329,21 @@ def get_backend(spec: "str | KernelBackend | None" = None) -> KernelBackend:
     return spec
 
 
+def resolve_backend_name(backend: "KernelBackend") -> str | None:
+    """Map a backend *instance* back to its registry name, if registered.
+
+    Worker pools and process-based engines ship backend *names* across
+    the fork boundary (each worker builds its own instance), so call
+    sites that accept instances use this to translate before spawning.
+    Only exact-type matches against registrations whose factory *is* the
+    class count; subclasses and ad-hoc instances return ``None``.
+    """
+    for name, info in _REGISTRY.items():
+        if isinstance(info.factory, type) and type(backend) is info.factory:
+            return name
+    return None
+
+
 register_backend(
     "reference", ReferenceBackend, ReferenceBackend.description
 )
@@ -1386,6 +1402,21 @@ def make_engine(
 
         if cat is not None and rates is not None:
             raise ValueError("cat replaces Gamma rates; pass rates=None")
+        # Thread/process substrates build per-worker instances from a
+        # *name*; translate registered instances here so callers get a
+        # boundary error instead of a failure deep inside the pool.
+        if backend is not None and not isinstance(backend, str):
+            if execution != "simulated":
+                name = resolve_backend_name(backend)
+                if name is None:
+                    raise ValueError(
+                        f"execution={execution!r} with workers={workers} "
+                        "requires a backend *name* (each worker builds its "
+                        "own instance); got an unregistered "
+                        f"{type(backend).__name__} instance — pass one of: "
+                        + ", ".join(sorted(_REGISTRY))
+                    )
+                backend = name
         return ForkJoinEngine(
             patterns,
             tree,

@@ -50,6 +50,7 @@ __all__ = [
     "FusedWave",
     "FusedPlan",
     "fuse_plans",
+    "execute_lockstep",
 ]
 
 #: Backend method name per CLA-producing kernel kind.  Post-order
@@ -364,3 +365,109 @@ def fuse_plans(plans: Iterable[ExecutionPlan]) -> FusedPlan:
         if parts:
             fused.waves.append(FusedWave(index=k, parts=parts))
     return fused
+
+
+# ----------------------------------------------------------------------
+# cross-engine lockstep (cross-query batching)
+# ----------------------------------------------------------------------
+def execute_lockstep(
+    engines: Sequence["LikelihoodEngine"],
+    plans: Sequence[ExecutionPlan],
+    *,
+    batch: bool = True,
+) -> None:
+    """Run one plan per engine in lockstep, fusing same-level waves.
+
+    The cross-**query** analogue of :func:`fuse_plans`: where the
+    partitioned engine fuses per-partition plans *inside* one engine,
+    this fuses per-engine plans *across* engines sharing one backend
+    instance — each fused level dispatches the concatenation of every
+    engine's prepared calls as a single wave (one ``newview_batch`` call
+    when the backend stacks).  The placement server uses it to turn N
+    concurrent queries' per-candidate traversals into single dispatches.
+
+    Bit-parity guarantee: per-call results are unchanged by the
+    concatenation.  Stacking backends group calls by operand *identity*
+    (each engine prepares its own operand arrays, so cross-engine calls
+    never share a group), and the per-call fallback path is the same
+    kernels either way — so every engine's CLAs come out bit-identical
+    to running its plan alone through :meth:`PlanExecutor.execute`.
+
+    Only down-sweep (``NewviewOp``) plans are supported; a plan carrying
+    pre-order/gradient ops raises ``ValueError``.
+    """
+    engines = list(engines)
+    plans = list(plans)
+    if len(engines) != len(plans):
+        raise ValueError(
+            f"one plan per engine required ({len(engines)} engines, "
+            f"{len(plans)} plans)"
+        )
+    if not engines:
+        return
+    backend = engines[0].backend
+    for engine in engines[1:]:
+        if engine.backend is not backend:
+            raise ValueError(
+                "lockstep execution needs every engine on the same backend "
+                "instance (one stacked dispatch per fused level)"
+            )
+    live = [(e, p) for e, p in zip(engines, plans) if p.waves]
+    if not live:
+        return
+    for _, plan in live:
+        for wave in plan.waves:
+            if any(not isinstance(op, NewviewOp) for op in wave.ops):
+                raise ValueError(
+                    "execute_lockstep fuses down-sweep (newview) plans only"
+                )
+    for engine, _ in live:
+        engine._prep_cache.clear()
+    depth = max(p.depth for _, p in live)
+    with _obs.span(
+        "plan.lockstep",
+        engines=len(live),
+        waves=depth,
+        ops=sum(p.n_ops for _, p in live),
+    ):
+        for k in range(depth):
+            groups = [
+                (engine, plan.waves[k])
+                for engine, plan in live
+                if k < plan.depth and plan.waves[k].ops
+            ]
+            if not groups:
+                continue
+            t0 = time.perf_counter()
+            calls: list[NewviewCall] = []
+            for engine, wave in groups:
+                calls.extend(engine._prepare_op(op) for op in wave.ops)
+            results = dispatch_wave(backend, calls, batch=batch)
+            pos = 0
+            for engine, wave in groups:
+                for op in wave.ops:
+                    z, sc = results[pos]
+                    engine._store_op(op, z, sc)
+                    pos += 1
+            elapsed = time.perf_counter() - t0
+            if _obs.ENABLED:
+                _obs.get_tracer().add_complete(
+                    "lockstep_wave",
+                    t0,
+                    t0 + elapsed,
+                    args={
+                        "level": k,
+                        "engines": len(groups),
+                        "width": len(calls),
+                    },
+                )
+                reg = _obs_metrics.get_registry()
+                reg.counter(
+                    "repro_crossquery_waves_total",
+                    "fused cross-engine waves dispatched in lockstep",
+                ).inc()
+                reg.histogram(
+                    "repro_crossquery_wave_width",
+                    "calls per fused cross-engine wave",
+                    bounds=_obs_metrics.log_buckets(1.0, 4096.0, per_decade=3),
+                ).observe(len(calls))

@@ -36,6 +36,7 @@ __all__ = [
     "log_buckets",
     "escape_help",
     "exposition_name",
+    "sanitize_metric_component",
     "lint_metric_names",
     "parse_prometheus_text",
 ]
@@ -61,6 +62,26 @@ def exposition_name(name: str, metric) -> str:
     if isinstance(metric, Counter) and not name.endswith("_total"):
         return name + "_total"
     return name
+
+
+def sanitize_metric_component(text: str) -> str:
+    """Make arbitrary text (a tenant name, a label) embeddable in a
+    metric name.
+
+    The registry has no label support, so multi-tenant lanes embed the
+    tenant in the name itself (``repro_serve_<tenant>_queries_total``).
+    Anything outside ``[a-zA-Z0-9_]`` becomes ``_``; a leading digit
+    gets a ``_`` prefix so the result stays a valid identifier
+    component.  Empty input sanitises to ``_``.
+    """
+    import re
+
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", text)
+    if not out:
+        return "_"
+    if out[0].isdigit():
+        out = "_" + out
+    return out
 
 
 def lint_metric_names(registry: "MetricsRegistry") -> list[str]:

@@ -60,6 +60,7 @@ __all__ = [
     "progress_begin",
     "progress_update",
     "progress_finish",
+    "progress_fail",
     "health_event",
     "checkpoint_written",
     "register_pool",
@@ -168,6 +169,19 @@ class ProgressState:
                 self.lnl = float(lnl)
             self.stage = "done"
 
+    def fail(self, error: str, now: float | None = None) -> None:
+        """Mark the task failed — never leave ``/progress`` in-flight.
+
+        The snapshot reports ``done: true`` with ``stage: "failed"`` and
+        the error string under ``info["error"]``, so a poller (or the
+        placement server) can distinguish a crash from a stale run.
+        """
+        now = now if now is not None else time.monotonic()
+        with self._lock:
+            self.finished_at = now
+            self.stage = "failed"
+            self.info = {**self.info, "error": error}
+
     def eta_seconds(self, now: float | None = None) -> float | None:
         """Projected remaining seconds; ``None`` while unknown.
 
@@ -275,6 +289,7 @@ class HealthState:
             try:
                 out.append(
                     {
+                        "label": getattr(pool, "label", ""),
                         "workers": pool.n_workers,
                         "alive": len(pool.alive),
                         "dead": sorted(pool.dead),
@@ -360,6 +375,12 @@ def progress_finish(lnl: float | None = None) -> None:
     """Gate entry point: mark the task done; no-op while disabled."""
     if ENABLED:
         _PROGRESS.finish(lnl=lnl)
+
+
+def progress_fail(error: str) -> None:
+    """Gate entry point: mark the task failed; no-op while disabled."""
+    if ENABLED:
+        _PROGRESS.fail(error)
 
 
 def health_event(kind: str, **details) -> None:

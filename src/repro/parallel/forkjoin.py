@@ -148,6 +148,7 @@ class ForkJoinEngine:
         cat: CatRates | None = None,
         on_worker_failure: str = "degrade",
         start_method: str | None = None,
+        label: str = "",
     ) -> None:
         if n_threads < 1:
             raise ValueError("need at least one thread")
@@ -168,6 +169,7 @@ class ForkJoinEngine:
         self._model = model
         self._rates = rates
         self._closed = False
+        self.label = label
         self.pool: WorkerPool | None = None
         self._executor: ThreadPoolExecutor | None = None
 
@@ -193,6 +195,7 @@ class ForkJoinEngine:
                 on_worker_failure=on_worker_failure,
                 distribution=self.distribution,
                 start_method=start_method,
+                label=label,
             )
             self.barrier_stats = self.pool.barrier_stats
             self.backend = None

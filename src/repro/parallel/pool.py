@@ -460,17 +460,21 @@ class WorkerPool:
         on_worker_failure: str = "degrade",
         distribution: SiteDistribution | None = None,
         start_method: str | None = None,
+        label: str = "",
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if backend is not None and not isinstance(backend, str):
             raise ValueError(
                 "process pools take a backend *name* (each worker builds "
-                "its own instance); got a backend object"
+                "its own instance); got a backend object — pass the "
+                "registry name, or use repro.core.backends."
+                "resolve_backend_name() to translate a registered instance"
             )
         if on_worker_failure not in ("degrade", "abort"):
             raise ValueError("on_worker_failure must be 'degrade' or 'abort'")
         self.on_worker_failure = on_worker_failure
+        self.label = label
         self.patterns = patterns
         self.n_workers = n_workers
         self.backend_name = backend

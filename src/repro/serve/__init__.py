@@ -1,0 +1,16 @@
+"""Likelihood-as-a-service: the long-running placement server.
+
+The paper's §VII outlook names EPA placement as the kernel workload
+with the best parallel profile — one fixed reference tree, independent
+(branch × query) evaluations with near-zero communication.  This
+package keeps that reference state *warm*: a
+:class:`~repro.search.epa.PlacementSession` (and optional worker pool)
+stays resident per reference tree, queries arrive over a stdlib HTTP
+front, and concurrent queries sharing a reference are fused into single
+cross-query wave dispatches (:func:`repro.core.schedule.execute_lockstep`)
+— the long-lived instance model of BEAGLE 4.1, at placement granularity.
+"""
+
+from .server import PlacementServer, Tenant, serve
+
+__all__ = ["PlacementServer", "Tenant", "serve"]

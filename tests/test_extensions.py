@@ -269,14 +269,26 @@ class TestEpaPlacement:
 
     def test_weight_ratios_normalised(self, epa_case):
         ref_aln, ref_tree, query, seq, _ = epa_case
+        # Over the FULL candidate set the softmax sums to exactly 1.
         results = place_queries(
-            ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4)
+            ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4),
+            keep_best=10_000,
         )
         total = sum(p.weight_ratio for p in results[0].placements)
         assert total == pytest.approx(1.0)
         # ranked descending
         lnls = [p.log_likelihood for p in results[0].placements]
         assert lnls == sorted(lnls, reverse=True)
+        # LWRs are computed before keep_best truncation, so the kept
+        # subset's ratios match the full run's head and sum to <= 1.
+        kept = place_queries(
+            ref_aln, ref_tree, {query: seq}, gtr(), GammaRates(1.0, 4),
+            keep_best=3,
+        )[0].placements
+        assert len(kept) == 3
+        assert sum(p.weight_ratio for p in kept) <= 1.0 + 1e-12
+        for full_p, kept_p in zip(results[0].placements, kept):
+            assert kept_p.weight_ratio == full_p.weight_ratio
 
     def test_reference_tree_not_modified(self, epa_case):
         ref_aln, ref_tree, query, seq, _ = epa_case

@@ -144,6 +144,7 @@ class TestLegacyIngestion:
             "bench_scheduler",
             "bench_gradients",
             "bench_parallel",
+            "bench_serving",
         }
 
 

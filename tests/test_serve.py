@@ -1,0 +1,340 @@
+"""Tests for the placement server and the EPA output-correctness fixes.
+
+Covers the ISSUE 9 acceptance criteria: jplace output invariants
+(distal length bounded by the branch, LWRs normalised over the full
+candidate set and monotone with log-likelihood), batched-vs-serial
+bit-parity of :func:`place_queries`, warm :class:`PlacementSession`
+reuse, backend-instance boundary validation, the ``/progress`` failure
+marker, and the HTTP server end to end (cross-client batching equal to
+the offline run, multi-tenant LRU eviction, ``/healthz`` flipping to
+503 on an injected worker death).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.backends import get_backend, make_engine, resolve_backend_name
+from repro.obs import server as obs_server
+from repro.obs.metrics import sanitize_metric_component
+from repro.phylo import Alignment, GammaRates, gtr, simulate_dataset
+from repro.search.epa import PlacementSession, place_queries, to_jplace
+from repro.serve import PlacementServer
+
+
+@pytest.fixture(scope="module")
+def epa_case():
+    sim = simulate_dataset(n_taxa=8, n_sites=300, seed=77)
+    aln = sim.alignment
+    query = aln.taxa[3]
+    ref_tree = sim.tree.copy()
+    leaf = ref_tree.node_by_name(query)
+    pend = ref_tree.incident_edges(leaf)[0]
+    ref_tree.prune_subtree(pend, subtree_root=leaf)
+    ref_tree.remove_node(leaf)
+    ref_aln = Alignment.from_sequences(
+        {t: aln.sequence(t) for t in aln.taxa if t != query}
+    )
+    return ref_aln, ref_tree, aln.sequence(query)
+
+
+def _get(url, timeout=30):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def _post(url, body, timeout=120):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestJplaceInvariants:
+    def test_distal_bounded_by_branch_length(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        results = place_queries(
+            ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+            keep_best=1000,
+        )
+        lengths = {}
+        from repro.search.epa import _edge_label
+
+        for e in ref_tree.edges:
+            lengths[_edge_label(ref_tree, e.id)] = e.length
+        for p in results[0].placements:
+            assert 0.0 <= p.distal_length <= lengths[p.edge_label]
+            # midpoint attachment: distal is exactly half the branch
+            assert p.distal_length == pytest.approx(
+                0.5 * lengths[p.edge_label]
+            )
+
+    def test_jplace_rows_use_actual_distal(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        results = place_queries(
+            ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+        )
+        doc = to_jplace(results, ref_tree)
+        fields = doc["fields"]
+        i_distal = fields.index("distal_length")
+        i_lwr = fields.index("like_weight_ratio")
+        i_lnl = fields.index("likelihood")
+        rows = doc["placements"][0]["p"]
+        distals = {row[i_distal] for row in rows}
+        assert len(distals) > 1  # not the old hardcoded 0.5 constant
+        # monotone: LWR ordering matches log-likelihood ordering
+        lnls = [row[i_lnl] for row in rows]
+        lwrs = [row[i_lwr] for row in rows]
+        assert lnls == sorted(lnls, reverse=True)
+        assert lwrs == sorted(lwrs, reverse=True)
+
+    def test_lwr_full_set_sums_to_one(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        full = place_queries(
+            ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+            keep_best=1000,
+        )[0].placements
+        assert sum(p.weight_ratio for p in full) == pytest.approx(1.0)
+        kept = place_queries(
+            ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+            keep_best=4,
+        )[0].placements
+        assert len(kept) == 4
+        assert sum(p.weight_ratio for p in kept) <= 1.0 + 1e-12
+        # truncation is a pure slice of the full ranking
+        for full_p, kept_p in zip(full, kept):
+            assert kept_p == full_p
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("backend", ["reference", "blocked"])
+    def test_batched_equals_serial_bitwise(self, epa_case, backend):
+        ref_aln, ref_tree, seq = epa_case
+        queries = {f"q{i}": seq for i in range(3)}
+        kwargs = dict(keep_best=1000, backend=backend)
+        serial = place_queries(
+            ref_aln, ref_tree, queries, gtr(), GammaRates(1.0, 4),
+            batch_queries=False, **kwargs,
+        )
+        batched = place_queries(
+            ref_aln, ref_tree, queries, gtr(), GammaRates(1.0, 4),
+            batch_queries=True, **kwargs,
+        )
+        assert len(serial) == len(batched)
+        for rs, rb in zip(serial, batched):
+            assert rs.query == rb.query
+            assert rs.placements == rb.placements  # bitwise: frozen floats
+
+    def test_session_reuse_matches_one_shot(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        one_shot = place_queries(
+            ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+        )
+        with PlacementSession(
+            ref_aln, ref_tree, gtr(), GammaRates(1.0, 4)
+        ) as session:
+            first = session.place({"q": seq})
+            second = session.place({"q": seq})  # merged-pattern LRU hit
+        assert first[0].placements == one_shot[0].placements
+        assert second[0].placements == one_shot[0].placements
+        assert session.queries_placed == 2
+
+
+class TestBackendBoundary:
+    def test_resolve_backend_name_round_trip(self):
+        assert resolve_backend_name(get_backend("blocked")) == "blocked"
+        assert resolve_backend_name(object()) is None
+
+    def test_make_engine_resolves_registered_instance(self, epa_case):
+        ref_aln, ref_tree, _ = epa_case
+        engine = make_engine(
+            ref_aln.compress(), ref_tree.copy(), gtr(), GammaRates(1.0, 4),
+            backend=get_backend("reference"), workers=2,
+            execution="processes",
+        )
+        try:
+            assert engine.pool is not None
+            assert engine.pool.backend_name == "reference"
+        finally:
+            engine.close()
+
+    def test_unregistered_instance_clear_error(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+
+        class NotRegistered:
+            pass
+
+        with pytest.raises(ValueError, match="backend \\*name\\*"):
+            place_queries(
+                ref_aln, ref_tree, {"q": seq}, gtr(), GammaRates(1.0, 4),
+                backend=NotRegistered(), workers=2, execution="processes",
+            )
+
+
+class TestProgressFailureMarker:
+    def test_failure_marks_progress_done(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        with obs_server.serve(port=0):
+            with pytest.raises(ValueError):
+                place_queries(
+                    ref_aln, ref_tree, {"bad": "ACGT"}, gtr(),
+                    GammaRates(1.0, 4),
+                )
+            snap = obs_server.progress().snapshot()
+        assert snap["done"] is True
+        assert snap["stage"] == "failed"
+        assert "ValueError" in snap["info"]["error"]
+
+
+class TestMetricSanitizer:
+    def test_sanitize(self):
+        assert sanitize_metric_component("my-tenant.1") == "my_tenant_1"
+        assert sanitize_metric_component("9lives") == "_9lives"
+        assert sanitize_metric_component("") == "_"
+
+
+@pytest.fixture(scope="module")
+def server_case(epa_case):
+    ref_aln, ref_tree, seq = epa_case
+    server = PlacementServer(
+        port=0, batch_wait_s=0.05, max_tenants=2, allow_fault_injection=True
+    )
+    server.add_tenant("main", ref_aln, ref_tree)
+    yield server, ref_aln, ref_tree, seq
+    server.stop()
+
+
+class TestPlacementServer:
+    def test_concurrent_clients_match_offline(self, server_case):
+        server, ref_aln, ref_tree, seq = server_case
+        out = {}
+
+        def client(i):
+            out[i] = _post(
+                f"{server.url}/tenants/main/place",
+                {"queries": {f"c{i}": seq}, "keep_best": 5},
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        offline = to_jplace(
+            place_queries(
+                ref_aln, ref_tree, {"c0": seq}, gtr(), GammaRates(1.0, 4),
+                keep_best=5,
+            ),
+            ref_tree,
+        )
+        for i in range(4):
+            code, doc = out[i]
+            assert code == 200
+            assert doc["tree"] == offline["tree"]
+            assert doc["placements"][0]["p"] == (
+                offline["placements"][0]["p"]
+            )
+        # the four concurrent single-query requests fused into batches
+        code, body = _get(f"{server.url}/tenants")
+        info = [
+            t for t in json.loads(body)["tenants"] if t["name"] == "main"
+        ][0]
+        assert info["queries_placed"] >= 4
+        assert info["batches_run"] < info["queries_placed"]
+
+    def test_routes_and_documents(self, server_case):
+        server, *_ = server_case
+        code, body = _get(f"{server.url}/")
+        assert code == 200 and "routes" in json.loads(body)
+        code, body = _get(f"{server.url}/metrics")
+        assert code == 200
+        assert "repro_serve_main_queries_total" in body
+        code, body = _get(f"{server.url}/progress")
+        assert code == 200 and json.loads(body)["task"] in ("serve", "place")
+        code, _ = _get(f"{server.url}/nope")
+        assert code == 404
+
+    def test_unknown_tenant_404(self, server_case):
+        server, _, _, seq = server_case
+        code, doc = _post(
+            f"{server.url}/tenants/ghost/place", {"queries": {"q": seq}}
+        )
+        assert code == 404
+
+    def test_bad_body_400(self, server_case):
+        server, *_ = server_case
+        code, doc = _post(f"{server.url}/tenants/main/place", {})
+        assert code == 400
+
+    def test_tenant_lru_eviction(self, server_case):
+        server, ref_aln, ref_tree, _ = server_case
+        newick = ref_tree.to_newick()
+        aln = {t: ref_aln.sequence(t) for t in ref_aln.taxa}
+        code, _ = _post(
+            f"{server.url}/tenants/spare", {"tree": newick, "alignment": aln}
+        )
+        assert code == 201
+        # cap is 2: registering a third evicts the least-recently-used
+        code, _ = _post(
+            f"{server.url}/tenants/third", {"tree": newick, "alignment": aln}
+        )
+        assert code == 201
+        code, body = _get(f"{server.url}/tenants")
+        names = {t["name"] for t in json.loads(body)["tenants"]}
+        assert len(names) == 2 and "third" in names
+        # restore "main" for the other tests (module-scoped fixture)
+        code, _ = _post(
+            f"{server.url}/tenants/main", {"tree": newick, "alignment": aln}
+        )
+        assert code == 201
+
+
+class TestWorkerDeathHealthz:
+    def test_healthz_flips_503_on_injected_death(self, epa_case):
+        ref_aln, ref_tree, seq = epa_case
+        with PlacementServer(port=0, allow_fault_injection=True) as server:
+            server.add_tenant(
+                "pooled", ref_aln, ref_tree, workers=2, execution="processes"
+            )
+            code, _ = _get(f"{server.url}/healthz")
+            assert code == 200
+            code, doc = _post(
+                f"{server.url}/faults/kill-worker?tenant=pooled", {}
+            )
+            assert code == 200 and doc["dead"]
+            code, body = _get(f"{server.url}/healthz")
+            assert code == 503
+            snap = json.loads(body)
+            assert snap["status"] == "degraded"
+            labelled = [
+                p for p in snap["worker_pools"] if p.get("label") == "pooled"
+            ]
+            assert labelled and labelled[0]["dead"]
+            # a degraded tenant still serves placements
+            code, doc = _post(
+                f"{server.url}/tenants/pooled/place",
+                {"queries": {"after": seq}},
+            )
+            assert code == 200
+
+    def test_fault_injection_gated(self, epa_case):
+        ref_aln, ref_tree, _ = epa_case
+        with PlacementServer(port=0) as server:
+            server.add_tenant("t", ref_aln, ref_tree)
+            code, doc = _post(
+                f"{server.url}/faults/kill-worker?tenant=t", {}
+            )
+            assert code == 403
