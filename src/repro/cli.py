@@ -65,12 +65,13 @@ def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
 
     parser.add_argument(
         "--backend",
-        choices=[info.name for info in available_backends()],
+        choices=[info.name for info in available_backends()] + ["auto"],
         default=None,
         help=(
-            "PLF kernel backend (default: $"
+            "PLF kernel backend, or 'auto' to let the cost-model "
+            "autotuner pick one per workload (default: $"
             + DEFAULT_BACKEND_ENV
-            + " or 'reference'; see 'repro backends')"
+            + " or 'reference'; see 'repro backends' and 'repro tune')"
         ),
     )
 
@@ -276,6 +277,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p_serve)
 
     sub.add_parser("backends", help="list registered PLF kernel backends")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="probe kernel backends and cache the predicted-fastest "
+             "configuration (used by --backend auto)",
+    )
+    p_tune.add_argument(
+        "--sites", type=int, default=100_000,
+        help="workload width (site patterns) to tune for",
+    )
+    p_tune.add_argument("--states", type=int, default=4,
+                        help="alphabet size (DNA: 4)")
+    p_tune.add_argument("--rates", type=int, default=4,
+                        help="rate categories (Gamma default: 4)")
+    p_tune.add_argument(
+        "--rounds", type=int, default=2,
+        help="timed probe rounds per candidate (more = steadier estimates)",
+    )
+    p_tune.add_argument(
+        "--refresh", action="store_true",
+        help="re-probe even when the tuning cache already has a decision",
+    )
+    p_tune.add_argument(
+        "--show", action="store_true",
+        help="print every cached decision and exit without probing",
+    )
 
     p_plan = sub.add_parser(
         "plan", help="print the levelized execution plan (dependency waves)"
@@ -709,7 +736,102 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
     print(f"  modes:   {', '.join(EXECUTION_MODES)}")
     print(f"  (override with ${WORKERS_ENV}/${EXEC_ENV} or --workers/--exec "
           "on 'repro search' and 'repro place')")
+
+    from .core.ckernels import probe_status
+
+    status = probe_status()
+    print("\ncompiled backend:")
+    if status.available:
+        print(f"  compiler: {status.compiler}")
+        print(f"  flags:    {' '.join(status.flags)}")
+    else:
+        print("  unavailable — engines fall back to 'blocked'")
+        print(f"  reason:   {status.reason}")
+    print(f"  cache:    {status.cache_dir}")
+    if status.cached_objects:
+        print(f"  objects:  {len(status.cached_objects)} cached "
+              f"({', '.join(status.cached_objects[:4])}"
+              f"{', ...' if len(status.cached_objects) > 4 else ''})")
+    else:
+        print("  objects:  none cached yet (compiled at first use)")
+
+    from .perf.autotune import TUNE_CACHE_ENV, TuningCache, default_cache_path
+
+    tune_cache = TuningCache()
+    entries = tune_cache.entries()
+    t_src = (
+        f"${TUNE_CACHE_ENV}"
+        if os.environ.get(TUNE_CACHE_ENV)
+        else "built-in default"
+    )
+    print("\nautotune cache:")
+    print(f"  path:     {default_cache_path()}  (from {t_src})")
+    if entries:
+        print(f"  entries:  {len(entries)} tuned workload(s) — "
+              "see 'repro tune --show'")
+    else:
+        print("  entries:  none yet ('repro tune' or --backend auto "
+              "populates it)")
     _print_metrics_snapshot()
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .perf.autotune import (
+        TuningCache,
+        WorkloadSignature,
+        autotune,
+        default_cache_path,
+    )
+
+    cache = TuningCache()
+    if args.show:
+        entries = cache.entries()
+        print(f"tuning cache: {default_cache_path()}")
+        if not entries:
+            print("  (empty — run 'repro tune' or '--backend auto')")
+            return 0
+        for key in sorted(entries):
+            entry = entries[key]
+            chosen = entry.get("chosen", {})
+            label = chosen.get("backend", "?")
+            if chosen.get("block_sites"):
+                label += f" block={chosen['block_sites']}"
+            if chosen.get("workers", 1) > 1:
+                label += f" {chosen['execution']}x{chosen['workers']}"
+            print(f"  {key:<22s} -> {label:<28s} "
+                  f"predicted {entry.get('predicted_s', 0.0):.4g}s "
+                  f"(default {entry.get('default_predicted_s', 0.0):.4g}s)")
+        return 0
+
+    signature = WorkloadSignature.from_workload(
+        args.sites, args.states, args.rates
+    )
+    print(f"tuning {signature.key} "
+          f"(sites={args.sites}, states={args.states}, rates={args.rates})")
+    decision = autotune(
+        signature, cache=cache, refresh=args.refresh, rounds=args.rounds
+    )
+    if not decision.candidates:
+        # cache hit: the stored decision has no candidate table
+        print(f"cache hit: {decision.chosen.label} "
+              f"(predicted {decision.predicted_s:.4g}s; "
+              "use --refresh to re-probe)")
+        return 0
+    print(f"\n  {'configuration':<28s} {'predicted':>12s} {'probe':>12s}")
+    for cand in decision.candidates:
+        measured = (
+            f"{cand.measured_probe_s:.5f}s"
+            if cand.measured_probe_s is not None
+            else "-"
+        )
+        marker = "*" if cand.config == decision.chosen else " "
+        print(f"{marker} {cand.config.label:<28s} "
+              f"{cand.predicted_s:>11.5f}s {measured:>12s}")
+    print(f"\nchosen: {decision.chosen.label} "
+          f"(predicted {decision.predicted_s:.4g}s vs default "
+          f"{decision.default_predicted_s:.4g}s)")
+    print(f"cached in {cache.path} — 'repro ... --backend auto' applies it")
     return 0
 
 
@@ -754,8 +876,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         d, taxa = jc_distance(alignment)
         tree = neighbor_joining(d, taxa)
         print("tree: neighbor joining on JC distances")
+    backend = args.backend
+    if backend == "auto":
+        from .perf.autotune import resolve_auto_backend
+
+        backend = resolve_auto_backend(patterns.n_patterns, 4, 4)
     engine = LikelihoodEngine(
-        patterns, tree, gtr(), GammaRates(1.0, 4), backend=args.backend
+        patterns, tree, gtr(), GammaRates(1.0, 4), backend=backend
     )
     batched = getattr(engine.backend, "newview_batch", None) is not None
     print(
@@ -1051,6 +1178,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "stats": _cmd_stats,
     "backends": _cmd_backends,
+    "tune": _cmd_tune,
     "plan": _cmd_plan,
     "kernels": _cmd_kernels,
     "predict": _cmd_predict,

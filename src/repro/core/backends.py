@@ -1350,6 +1350,13 @@ register_backend(
 register_backend("blocked", BlockedBackend, BlockedBackend.description)
 register_backend("shadow", ShadowBackend, ShadowBackend.description)
 
+# Imported after the base classes exist (ckernels.backend subclasses
+# _BackendBase); registering the class itself keeps resolve_backend_name
+# working across the worker-pool fork boundary.
+from .ckernels.backend import CompiledBackend  # noqa: E402
+
+register_backend("compiled", CompiledBackend, CompiledBackend.description)
+
 
 # ----------------------------------------------------------------------
 # engine factory
@@ -1366,6 +1373,7 @@ def make_engine(
     p_inv: float | None = None,
     workers: int = 1,
     execution: str = "simulated",
+    auto: bool = False,
 ) -> "LikelihoodEngine":
     """Single construction point for every engine flavour.
 
@@ -1382,6 +1390,14 @@ def make_engine(
     serial engine.  The parallel engines own OS resources — call
     ``close()`` (or use them as context managers) when done.
 
+    ``auto=True`` (equivalently ``backend="auto"``) asks the autotuner
+    (:mod:`repro.perf.autotune`) for the backend / execution / workers /
+    block-size combination its cost model predicts fastest for this
+    workload shape; the decision is cached per machine, so only the
+    first call for a given shape pays the probe cost.  Explicitly
+    passing ``workers > 1`` alongside ``auto`` keeps your worker count
+    and tunes only the backend.
+
     Mutually exclusive combinations raise ``ValueError`` rather than
     silently picking one behaviour.
     """
@@ -1392,6 +1408,32 @@ def make_engine(
 
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(backend, str) and backend == "auto":
+        backend, auto = None, True
+    if auto:
+        if backend is not None:
+            raise ValueError("auto=True picks the backend; pass backend=None")
+        # Lazy import: repro.perf imports repro.core, not vice versa.
+        from ..perf.autotune import WorkloadSignature, autotune, build_backend
+
+        if cat is not None:
+            n_rates = int(np.asarray(cat.category_rates).shape[0])
+        elif rates is not None:
+            n_rates = int(rates.n_categories)
+        else:
+            n_rates = 4  # engine default (Gamma, four categories)
+        signature = WorkloadSignature.from_workload(
+            patterns.n_patterns, model.n_states, n_rates
+        )
+        chosen = autotune(signature).chosen
+        if workers == 1 and chosen.workers > 1:
+            workers, execution = chosen.workers, chosen.execution
+        if workers > 1 and execution != "simulated":
+            # Per-worker instances are built from a registry *name*;
+            # a tuned block size cannot cross the fork boundary.
+            backend = chosen.backend
+        else:
+            backend = build_backend(chosen)
     if workers > 1:
         if max_resident is not None or p_inv is not None:
             raise ValueError(

@@ -1,0 +1,30 @@
+"""Compiled C kernel backend (codegen + build cache + ctypes shim).
+
+See :mod:`repro.core.ckernels.codegen` for the numerical contract,
+:mod:`repro.core.ckernels.build` for the toolchain/cache layer, and
+:mod:`repro.core.ckernels.backend` for the :class:`CompiledBackend`
+that registers as ``backend="compiled"``.
+"""
+
+from .backend import CompiledBackend
+from .build import (
+    CACHE_ENV,
+    CompilerUnavailable,
+    ProbeStatus,
+    default_cache_dir,
+    probe_status,
+    probe_toolchain,
+)
+from .codegen import render_source, source_digest
+
+__all__ = [
+    "CompiledBackend",
+    "CACHE_ENV",
+    "CompilerUnavailable",
+    "ProbeStatus",
+    "default_cache_dir",
+    "probe_status",
+    "probe_toolchain",
+    "render_source",
+    "source_digest",
+]

@@ -1,0 +1,292 @@
+"""Compile-and-cache layer for the generated PLF kernels.
+
+Turns the C source from :mod:`repro.core.ckernels.codegen` into a
+loadable shared object using only the standard library and the system
+compiler — no build-system or packaging dependency, no network:
+
+* the compiler comes from ``$CC`` when set, else the first of ``cc``,
+  ``gcc``, ``clang`` found on ``PATH``;
+* base flags are ``-O3 -fPIC -shared -ffp-contract=off`` (the contract
+  flag is load-bearing: GCC's default FMA contraction would change
+  results at the last ulp and break the parity contract in
+  ``codegen``); ``-march=native`` is added when a one-shot probe
+  compile accepts it;
+* shared objects land in a cache directory (``$REPRO_CKERNEL_CACHE``,
+  default ``~/.cache/repro/ckernels``) keyed by
+  source-hash x compiler x flags x NumPy version, compiled to a
+  temporary name and published with an atomic ``os.replace`` so
+  concurrent processes never observe a half-written ``.so``;
+* every failure mode (no compiler, compile error, unloadable object)
+  raises :class:`CompilerUnavailable` with a reason the backend turns
+  into its one-time fallback warning and ``repro backends`` displays
+  verbatim.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .codegen import render_source, source_digest
+
+__all__ = [
+    "CACHE_ENV",
+    "CompilerUnavailable",
+    "BuildSpec",
+    "ProbeStatus",
+    "default_cache_dir",
+    "find_compiler",
+    "probe_toolchain",
+    "probe_status",
+    "load_kernels",
+]
+
+#: Environment variable overriding the shared-object cache directory.
+CACHE_ENV = "REPRO_CKERNEL_CACHE"
+
+_BASE_FLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+_PROBE_SOURCE = "int repro_probe(void) { return 42; }\n"
+
+
+class CompilerUnavailable(RuntimeError):
+    """No usable C toolchain (missing compiler, failed compile, ...)."""
+
+
+def default_cache_dir() -> Path:
+    """Cache directory for compiled kernels (honours :data:`CACHE_ENV`)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "ckernels"
+
+
+def find_compiler() -> str:
+    """The C compiler command, or raise :class:`CompilerUnavailable`.
+
+    ``$CC`` wins when set — including when it points at a nonexistent
+    path, which is how CI exercises the fallback (``CC=/nonexistent``):
+    an explicit-but-broken setting must *not* silently fall through to
+    a working system compiler.
+    """
+    cc = os.environ.get("CC")
+    if cc:
+        resolved = shutil.which(cc)
+        if resolved is None:
+            raise CompilerUnavailable(
+                f"$CC={cc!r} is not an executable compiler"
+            )
+        return resolved
+    for cand in ("cc", "gcc", "clang"):
+        resolved = shutil.which(cand)
+        if resolved is not None:
+            return resolved
+    raise CompilerUnavailable(
+        "no C compiler found (tried $CC, cc, gcc, clang)"
+    )
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """Resolved toolchain: compiler plus the final flag set."""
+
+    compiler: str
+    flags: tuple[str, ...]
+
+    def cache_key_extra(self) -> str:
+        """Non-source part of the shared-object cache key."""
+        return "|".join(
+            (self.compiler, *self.flags, "numpy=" + np.__version__)
+        )
+
+
+@dataclass
+class ProbeStatus:
+    """What ``repro backends`` reports about the compiled toolchain."""
+
+    available: bool
+    compiler: str | None = None
+    flags: tuple[str, ...] = ()
+    cache_dir: str = ""
+    cached_objects: list[str] = field(default_factory=list)
+    reason: str | None = None  # fallback reason when unavailable
+
+    def to_dict(self) -> dict:
+        return {
+            "available": self.available,
+            "compiler": self.compiler,
+            "flags": list(self.flags),
+            "cache_dir": self.cache_dir,
+            "cached_objects": list(self.cached_objects),
+            "reason": self.reason,
+        }
+
+
+def _try_compile(
+    compiler: str, flags: tuple[str, ...], source: str, out_path: Path
+) -> tuple[bool, str]:
+    """Compile ``source`` to ``out_path``; return (ok, stderr)."""
+    with tempfile.TemporaryDirectory(prefix="repro-cc-") as tmp:
+        src = Path(tmp) / "kernel.c"
+        src.write_text(source)
+        cmd = [compiler, *flags, str(src), "-o", str(out_path), "-lm"]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            return False, str(exc)
+        if proc.returncode != 0:
+            return False, proc.stderr.strip() or f"exit {proc.returncode}"
+        return True, ""
+
+
+_spec_cache: BuildSpec | None = None
+
+
+def probe_toolchain(refresh: bool = False) -> BuildSpec:
+    """Resolve compiler + flags, probing ``-march=native`` support once.
+
+    The result is memoised per process (a probe costs one tiny compile);
+    pass ``refresh=True`` after changing ``$CC`` mid-process (tests).
+    """
+    global _spec_cache
+    if _spec_cache is not None and not refresh:
+        return _spec_cache
+    compiler = find_compiler()
+    flags = _BASE_FLAGS
+    with tempfile.TemporaryDirectory(prefix="repro-cc-") as tmp:
+        probe_so = Path(tmp) / "probe.so"
+        ok, err = _try_compile(compiler, flags, _PROBE_SOURCE, probe_so)
+        if not ok:
+            raise CompilerUnavailable(
+                f"compiler {compiler!r} failed a probe compile: {err}"
+            )
+        native = (*flags, "-march=native")
+        ok, _ = _try_compile(compiler, native, _PROBE_SOURCE, probe_so)
+        if ok:
+            flags = native
+    _spec_cache = BuildSpec(compiler=compiler, flags=flags)
+    return _spec_cache
+
+
+def _object_path(states: int, rates: int, digest: str, cache_dir: Path) -> Path:
+    return cache_dir / f"plf_{states}s_{rates}r_{digest}.so"
+
+
+def load_kernels(
+    states: int,
+    rates: int,
+    spec: BuildSpec | None = None,
+    cache_dir: Path | None = None,
+) -> ctypes.CDLL:
+    """Compile (or reuse) and load the kernels for one (states, rates).
+
+    Cache hits skip the compiler entirely; misses compile into the cache
+    under a temporary name and publish atomically, so parallel workers
+    racing on a cold cache each produce a valid object and the last
+    rename wins (the contents are identical by construction).
+    """
+    if spec is None:
+        spec = probe_toolchain()
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    source = render_source(states, rates)
+    digest = source_digest(source, spec.cache_key_extra())
+    so_path = _object_path(states, rates, digest, cache_dir)
+    if not so_path.exists():
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(cache_dir), prefix=so_path.stem + ".", suffix=".tmp"
+        )
+        os.close(fd)
+        tmp_path = Path(tmp_name)
+        try:
+            ok, err = _try_compile(spec.compiler, spec.flags, source, tmp_path)
+            if not ok:
+                raise CompilerUnavailable(
+                    f"compiling PLF kernels ({states} states, {rates} rates) "
+                    f"failed: {err}"
+                )
+            os.replace(tmp_path, so_path)
+        finally:
+            if tmp_path.exists():
+                tmp_path.unlink()
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError as exc:
+        raise CompilerUnavailable(
+            f"cached kernel object {so_path} failed to load: {exc}"
+        ) from exc
+    _declare(lib)
+    return lib
+
+
+def probe_status() -> ProbeStatus:
+    """Availability report for ``repro backends`` (never raises)."""
+    cache_dir = default_cache_dir()
+    cached = (
+        sorted(p.name for p in cache_dir.glob("plf_*.so"))
+        if cache_dir.is_dir()
+        else []
+    )
+    try:
+        spec = probe_toolchain()
+    except CompilerUnavailable as exc:
+        return ProbeStatus(
+            available=False,
+            cache_dir=str(cache_dir),
+            cached_objects=cached,
+            reason=str(exc),
+        )
+    return ProbeStatus(
+        available=True,
+        compiler=spec.compiler,
+        flags=spec.flags,
+        cache_dir=str(cache_dir),
+        cached_objects=cached,
+    )
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Attach argtypes: pointers travel as raw addresses (c_void_p)."""
+    i64 = ctypes.c_int64
+    ptr = ctypes.c_void_p
+    lib.nv_inner_inner.argtypes = [i64, ptr, i64, i64] + [ptr] * 4 + [
+        ptr, ptr, ptr, ptr
+    ]
+    lib.nv_inner_inner.restype = None
+    lib.nv_tip_inner.argtypes = [
+        i64, ptr, i64, i64, ptr, i64, ptr, ptr, ptr, ptr, ptr, ptr
+    ]
+    lib.nv_tip_inner.restype = None
+    lib.nv_tip_tip.argtypes = [
+        i64, ptr, i64, i64, ptr, i64, ptr, ptr, i64, ptr, ptr
+    ]
+    lib.nv_tip_tip.restype = None
+    lib.tip_pair_table.argtypes = [ptr, i64, i64, ptr, i64, ptr, i64, ptr]
+    lib.tip_pair_table.restype = None
+    lib.evaluate_site.argtypes = [
+        i64, ptr, i64, i64, i64, ptr, i64, i64, i64, ptr, ptr, ptr
+    ]
+    lib.evaluate_site.restype = None
+    lib.deriv_site_terms.argtypes = [
+        i64, ptr, i64, i64, i64, ptr, ptr, ptr, ptr, ptr, ptr
+    ]
+    lib.deriv_site_terms.restype = None
+    lib.grad_site_terms.argtypes = [
+        i64, ptr, i64, i64, i64, ptr, i64, i64, i64,
+        ptr, ptr, ptr, ptr, ptr, ptr,
+    ]
+    lib.grad_site_terms.restype = None
+    lib.ew_product.argtypes = [
+        i64, ptr, i64, i64, i64, ptr, i64, i64, i64, ptr
+    ]
+    lib.ew_product.restype = None

@@ -1,0 +1,625 @@
+"""Cost-model-driven autotuner: pick backend x execution x workers x block.
+
+The Gysela Xeon Phi study (PAPERS.md) tunes block size and thread
+placement per workload from *measurements*, not defaults; this module
+does the same for the reproduction's execution configuration:
+
+1. **Probe** — run each candidate backend for a short, fixed kernel
+   schedule at a probe width, collecting its
+   :class:`~repro.core.backends.KernelProfile`;
+2. **Price** — convert profiles to per-site kernel costs
+   (:func:`repro.perf.costmodel.measured_costs`, untimed kernels
+   excluded) and extrapolate to the workload's real width with a fixed
+   per-traversal kernel mix; fork-join candidates add the barrier
+   overhead fitted by
+   :func:`repro.perf.costmodel.calibrate_forkjoin` from measured
+   :class:`~repro.parallel.pool.BarrierStats`;
+3. **Decide** — :func:`decide` is a *pure* argmin over the candidate
+   table that always includes the static default configuration, so the
+   tuned choice can never be predicted slower than the default (the
+   acceptance bar of the autotuner);
+4. **Persist** — decisions land in a JSON cache
+   (``~/.cache/repro/tuning.json``, overridable via
+   :data:`TUNE_CACHE_ENV`) keyed by :class:`WorkloadSignature`, so
+   ``make_engine(auto=True)`` pays the probe cost once per workload
+   shape per machine.
+
+``repro tune`` drives the same machinery from the CLI and prints the
+decision table with predicted-vs-measured probe times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .costmodel import KERNELS, MeasuredKernelCost, calibrate_forkjoin, measured_costs
+
+__all__ = [
+    "TUNE_CACHE_ENV",
+    "CACHE_VERSION",
+    "WorkloadSignature",
+    "TunedConfig",
+    "ProbeResult",
+    "CandidateCost",
+    "Decision",
+    "DEFAULT_MIX",
+    "BLOCK_GRID",
+    "default_cache_path",
+    "TuningCache",
+    "predict_seconds",
+    "enumerate_candidates",
+    "decide",
+    "run_probes",
+    "autotune",
+    "build_backend",
+    "resolve_auto_backend",
+]
+
+#: Environment variable overriding the tuning-cache location.
+TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
+
+#: Bump to invalidate persisted decisions after semantic changes.
+CACHE_VERSION = 1
+
+#: Kernel dispatches per "traversal unit" used to extrapolate probe
+#: costs to a full workload: one post-order sweep is ~2 newview ops per
+#: taxon-pair edge for every evaluate, with a derivative pair per
+#: branch-length Newton step.  The mix only needs to *rank* candidates,
+#: and every candidate is priced with the same mix.
+DEFAULT_MIX: dict[str, float] = {
+    "newview": 2.0,
+    "evaluate": 0.5,
+    "derivative_sum": 0.25,
+    "derivative_core": 0.25,
+}
+
+#: Fork-join regions per traversal unit (one wave region per kernel
+#: family dispatch, roughly) — scales the calibrated barrier overhead.
+REGIONS_PER_UNIT = 3.0
+
+#: Candidate ``block_sites`` values for the blocked backend.
+BLOCK_GRID = (1024, 2048, 4096, 8192)
+
+#: Backends the tuner considers (shadow is a verification harness, not
+#: a production candidate).
+CANDIDATE_BACKENDS = ("reference", "blocked", "compiled")
+
+
+# ----------------------------------------------------------------------
+# signatures and configurations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """What a tuning decision is keyed by: (sites bucket, states, rates).
+
+    Site counts are bucketed geometrically (next power of two) so one
+    probe covers every alignment of similar width — per-site kernel
+    costs are flat within a bucket but shift across cache-size
+    boundaries, which is exactly what the buckets separate.
+    """
+
+    sites_bucket: int
+    states: int
+    rates: int
+
+    @classmethod
+    def from_workload(
+        cls, n_patterns: int, n_states: int, n_rates: int
+    ) -> "WorkloadSignature":
+        n = max(int(n_patterns), 1)
+        bucket = 1 << (n - 1).bit_length()  # next power of two >= n
+        return cls(sites_bucket=bucket, states=int(n_states), rates=int(n_rates))
+
+    @property
+    def key(self) -> str:
+        return f"s{self.sites_bucket}_k{self.states}_r{self.rates}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "WorkloadSignature":
+        try:
+            s, k, r = key.split("_")
+            return cls(int(s[1:]), int(k[1:]), int(r[1:]))
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"malformed signature key {key!r}") from exc
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One executable configuration the tuner can pick."""
+
+    backend: str
+    execution: str = "simulated"
+    workers: int = 1
+    block_sites: int | None = None
+
+    @property
+    def label(self) -> str:
+        parts = [self.backend]
+        if self.block_sites is not None:
+            parts.append(f"block={self.block_sites}")
+        if self.workers > 1:
+            parts.append(f"{self.execution}x{self.workers}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "execution": self.execution,
+            "workers": self.workers,
+            "block_sites": self.block_sites,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TunedConfig":
+        return cls(
+            backend=str(d["backend"]),
+            execution=str(d.get("execution", "simulated")),
+            workers=int(d.get("workers", 1)),
+            block_sites=(
+                int(d["block_sites"]) if d.get("block_sites") else None
+            ),
+        )
+
+
+#: The static default an untuned ``make_engine`` call resolves to; the
+#: decision table always contains it, which is what guarantees a tuned
+#: run is never predicted slower than an untuned one.
+DEFAULT_CONFIG = TunedConfig(backend="reference")
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One backend probe: wall time plus per-kernel measured costs."""
+
+    config: TunedConfig
+    probe_sites: int
+    probe_units: float  # traversal units executed during timing
+    measured_s: float
+    costs: dict[str, MeasuredKernelCost]
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    """A priced candidate in the decision table."""
+
+    config: TunedConfig
+    predicted_s: float
+    measured_probe_s: float | None = None
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The tuner's output for one workload signature."""
+
+    signature: WorkloadSignature
+    chosen: TunedConfig
+    predicted_s: float
+    default_predicted_s: float
+    candidates: tuple[CandidateCost, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "signature": self.signature.key,
+            "chosen": self.chosen.to_dict(),
+            "predicted_s": self.predicted_s,
+            "default_predicted_s": self.default_predicted_s,
+            "candidates": [
+                {
+                    "config": c.config.to_dict(),
+                    "predicted_s": c.predicted_s,
+                    "measured_probe_s": c.measured_probe_s,
+                }
+                for c in self.candidates
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# pricing (pure)
+# ----------------------------------------------------------------------
+def predict_seconds(
+    costs: dict[str, MeasuredKernelCost],
+    sites: float,
+    *,
+    units: float = 1.0,
+    mix: dict[str, float] | None = None,
+    workers: int = 1,
+    region_overhead_s: float = 0.0,
+) -> float:
+    """Extrapolate measured per-site kernel costs to a workload.
+
+    Untimed kernels (``seconds_per_site is None``) are skipped — they
+    contribute no evidence, rather than a fictitious zero cost.  For
+    ``workers > 1`` the data-parallel term divides by the worker count
+    and each traversal unit pays ``REGIONS_PER_UNIT`` fork-join regions
+    of ``region_overhead_s``.
+    """
+    mix = DEFAULT_MIX if mix is None else mix
+    per_site = 0.0
+    for kernel, weight in mix.items():
+        cost = costs.get(kernel)
+        if cost is None:
+            continue
+        sps = cost.seconds_per_site
+        if sps is None:  # untimed: no evidence, not "free"
+            continue
+        per_site += weight * sps
+    compute = per_site * float(sites) * units / max(int(workers), 1)
+    sync = (
+        REGIONS_PER_UNIT * units * region_overhead_s if workers > 1 else 0.0
+    )
+    return compute + sync
+
+
+def enumerate_candidates(
+    probes: dict[str, ProbeResult],
+    sites: float,
+    *,
+    cpu_count: int = 1,
+    forkjoin_model=None,
+    mix: dict[str, float] | None = None,
+) -> list[CandidateCost]:
+    """Price every candidate configuration from probe measurements.
+
+    Pure given its inputs: the same probe table always produces the
+    same candidate list (the determinism the tests pin).  Serial
+    candidates come straight from the probes; fork-join variants are
+    derived for every probed backend when ``cpu_count > 1`` *and* a
+    calibrated ``forkjoin_model`` is supplied.
+    """
+    out: list[CandidateCost] = []
+    for key in sorted(probes):
+        probe = probes[key]
+        predicted = predict_seconds(
+            probe.costs, sites, units=1.0, mix=mix, workers=1
+        )
+        measured_unit_s = (
+            probe.measured_s / probe.probe_units if probe.probe_units else None
+        )
+        out.append(
+            CandidateCost(
+                config=probe.config,
+                predicted_s=predicted,
+                measured_probe_s=measured_unit_s,
+            )
+        )
+        if cpu_count > 1 and forkjoin_model is not None:
+            if probe.config.backend == "shadow":
+                continue
+            for workers in _worker_grid(cpu_count):
+                overhead = forkjoin_model.region_overhead_s(workers)
+                for execution in ("threads", "processes"):
+                    cfg = TunedConfig(
+                        backend=probe.config.backend,
+                        execution=execution,
+                        workers=workers,
+                        block_sites=probe.config.block_sites,
+                    )
+                    out.append(
+                        CandidateCost(
+                            config=cfg,
+                            predicted_s=predict_seconds(
+                                probe.costs,
+                                sites,
+                                mix=mix,
+                                workers=workers,
+                                region_overhead_s=overhead,
+                            ),
+                        )
+                    )
+    return out
+
+
+def _worker_grid(cpu_count: int) -> list[int]:
+    grid = sorted({2, cpu_count, max(cpu_count // 2, 2)})
+    return [w for w in grid if 2 <= w <= cpu_count]
+
+
+def decide(
+    signature: WorkloadSignature,
+    candidates: list[CandidateCost],
+    default: TunedConfig = DEFAULT_CONFIG,
+) -> Decision:
+    """Pure argmin over the decision table (ties break deterministically).
+
+    The ``default`` configuration must be present among the candidates
+    (callers probe it alongside the rest); the chosen candidate is the
+    predicted-fastest, so by construction it is never predicted slower
+    than the default.
+    """
+    if not candidates:
+        raise ValueError("empty candidate table")
+    default_rows = [c for c in candidates if c.config == default]
+    if not default_rows:
+        raise ValueError(
+            f"candidate table is missing the default config {default!r}; "
+            "the never-slower-than-default guarantee needs it probed"
+        )
+    ranked = sorted(
+        candidates, key=lambda c: (c.predicted_s, c.config.label)
+    )
+    best = ranked[0]
+    return Decision(
+        signature=signature,
+        chosen=best.config,
+        predicted_s=best.predicted_s,
+        default_predicted_s=default_rows[0].predicted_s,
+        candidates=tuple(ranked),
+    )
+
+
+# ----------------------------------------------------------------------
+# probing (impure: runs kernels, takes wall time)
+# ----------------------------------------------------------------------
+def _probe_operands(sites: int, states: int, rates: int, seed: int = 20140513):
+    """Synthetic, well-conditioned operands for one probe schedule."""
+    rng = np.random.default_rng(seed)
+    p, c, k = int(sites), int(rates), int(states)
+    u_inv = np.asfortranarray(rng.uniform(-1.0, 1.0, size=(k, k)))
+    a1 = rng.uniform(0.1, 1.0, size=(c, k, k))
+    a2 = rng.uniform(0.1, 1.0, size=(c, k, k))
+    z1 = rng.uniform(0.1, 1.0, size=(p, c, k))
+    z2 = rng.uniform(0.1, 1.0, size=(p, c, k))
+    exps = rng.uniform(0.5, 1.5, size=(c, k))
+    rate_weights = np.full(c, 1.0 / c)
+    pattern_weights = np.ones(p)
+    eigenvalues = -rng.uniform(0.1, 2.0, size=k)
+    rate_values = rng.uniform(0.5, 2.0, size=c)
+    scale = np.zeros(p, dtype=np.int64)
+    return {
+        "u_inv": u_inv, "a1": a1, "a2": a2, "z1": z1, "z2": z2,
+        "exps": exps, "rate_weights": rate_weights,
+        "pattern_weights": pattern_weights, "eigenvalues": eigenvalues,
+        "rate_values": rate_values, "scale": scale,
+    }
+
+
+def _run_schedule(backend, ops: dict) -> None:
+    """One traversal unit: the DEFAULT_MIX in actual dispatches."""
+    z, sc = backend.newview_inner_inner(
+        ops["u_inv"], ops["a1"], ops["a2"], ops["z1"], ops["z2"],
+        ops["scale"], ops["scale"],
+    )
+    backend.newview_inner_inner(
+        ops["u_inv"], ops["a1"], ops["a2"], z, ops["z2"], sc, ops["scale"]
+    )
+    backend.evaluate_edge(
+        ops["z1"], ops["z2"], ops["exps"], ops["rate_weights"],
+        ops["pattern_weights"], ops["scale"],
+    )
+    sumbuf = backend.derivative_sum(ops["z1"], ops["z2"])
+    backend.derivative_core(
+        sumbuf, ops["eigenvalues"], ops["rate_values"],
+        ops["rate_weights"], 0.3, ops["pattern_weights"],
+    )
+
+
+def build_backend(config: TunedConfig):
+    """A live backend instance for one configuration."""
+    from ..core.backends import BlockedBackend, get_backend
+
+    if config.backend == "blocked" and config.block_sites is not None:
+        return BlockedBackend(block_sites=config.block_sites)
+    return get_backend(config.backend)
+
+
+def run_probes(
+    signature: WorkloadSignature,
+    *,
+    probe_sites: int | None = None,
+    rounds: int = 2,
+    backends: tuple[str, ...] = CANDIDATE_BACKENDS,
+    block_grid: tuple[int, ...] = BLOCK_GRID,
+) -> dict[str, ProbeResult]:
+    """Measure every serial candidate at the probe width.
+
+    The probe width is the signature's bucket capped at 32K sites
+    (enough to leave L2; predictions scale linearly past that), each
+    candidate runs one untimed warm-up round — which also absorbs the
+    compiled backend's first-use compile — then ``rounds`` timed
+    traversal units on a reset profile.
+    """
+    from ..core.backends import available_backends
+
+    registered = {info.name for info in available_backends()}
+    if probe_sites is None:
+        probe_sites = min(signature.sites_bucket, 32_768)
+    ops = _probe_operands(probe_sites, signature.states, signature.rates)
+
+    configs: list[TunedConfig] = []
+    for name in backends:
+        if name not in registered or name == "shadow":
+            continue
+        if name == "blocked":
+            configs.extend(
+                TunedConfig(backend=name, block_sites=b) for b in block_grid
+            )
+        else:
+            configs.append(TunedConfig(backend=name))
+
+    probes: dict[str, ProbeResult] = {}
+    for config in configs:
+        backend = build_backend(config)
+        _run_schedule(backend, ops)  # warm-up (+ first-use compile)
+        backend.profile.reset()
+        t0 = time.perf_counter()
+        for _ in range(max(int(rounds), 1)):
+            _run_schedule(backend, ops)
+        elapsed = time.perf_counter() - t0
+        probes[config.label] = ProbeResult(
+            config=config,
+            probe_sites=probe_sites,
+            probe_units=float(max(int(rounds), 1)),
+            measured_s=elapsed,
+            costs=measured_costs(backend.profile),
+        )
+    return probes
+
+
+def probe_forkjoin(cpu_count: int | None = None):
+    """Calibrate the barrier model from a tiny real threaded run.
+
+    Returns ``None`` on single-core machines — there is no parallel
+    configuration worth pricing, and a threads probe would only measure
+    oversubscription noise.
+    """
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpu < 2:
+        return None
+    from ..core.backends import make_engine
+    from ..phylo.models import gtr
+    from ..phylo.rates import GammaRates
+    from ..phylo.simulate import simulate_dataset
+
+    sim = simulate_dataset(n_taxa=8, n_sites=256, seed=99)
+    pat = sim.alignment.compress()
+    samples = {}
+    for workers in sorted({2, min(4, cpu)}):
+        with make_engine(
+            pat, sim.tree, gtr(), GammaRates(1.0, 4),
+            backend="blocked", workers=workers, execution="threads",
+        ) as eng:
+            eng.log_likelihood()
+            stats = eng.barrier_stats
+            if stats is not None and stats.regions:
+                samples[workers] = stats
+    if not samples:
+        return None
+    return calibrate_forkjoin(samples)
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def default_cache_path() -> Path:
+    """Tuning-cache location: ``$REPRO_TUNE_CACHE`` or the user cache dir."""
+    override = os.environ.get(TUNE_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "tuning.json"
+
+
+class TuningCache:
+    """JSON-backed decision store, written atomically."""
+
+    def __init__(self, path: Path | None = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self._data: dict | None = None
+
+    def _load(self) -> dict:
+        if self._data is None:
+            try:
+                raw = json.loads(self.path.read_text())
+            except (OSError, ValueError):
+                raw = {}
+            if raw.get("version") != CACHE_VERSION:
+                raw = {}
+            self._data = {
+                "version": CACHE_VERSION,
+                "cpu_count": os.cpu_count() or 1,
+                "entries": dict(raw.get("entries", {})),
+            }
+        return self._data
+
+    def get(self, signature: WorkloadSignature) -> Decision | None:
+        entry = self._load()["entries"].get(signature.key)
+        if not entry:
+            return None
+        try:
+            return Decision(
+                signature=signature,
+                chosen=TunedConfig.from_dict(entry["chosen"]),
+                predicted_s=float(entry.get("predicted_s", 0.0)),
+                default_predicted_s=float(
+                    entry.get("default_predicted_s", 0.0)
+                ),
+            )
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def put(self, decision: Decision) -> None:
+        data = self._load()
+        payload = decision.to_dict()
+        payload.pop("signature", None)
+        data["entries"][decision.signature.key] = payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(data, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def entries(self) -> dict[str, dict]:
+        return dict(self._load()["entries"])
+
+
+# ----------------------------------------------------------------------
+# the tuner
+# ----------------------------------------------------------------------
+def autotune(
+    signature: WorkloadSignature,
+    *,
+    cache: TuningCache | None = None,
+    refresh: bool = False,
+    probe_sites: int | None = None,
+    rounds: int = 2,
+    cpu_count: int | None = None,
+) -> Decision:
+    """Resolve (probe + decide + persist) the configuration for a workload.
+
+    Cache hits skip probing entirely.  ``refresh=True`` forces a
+    re-probe (``repro tune --refresh``).
+    """
+    cache = cache if cache is not None else TuningCache()
+    if not refresh:
+        hit = cache.get(signature)
+        if hit is not None:
+            return hit
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    probes = run_probes(
+        signature, probe_sites=probe_sites, rounds=rounds
+    )
+    fj = probe_forkjoin(cpu)
+    candidates = enumerate_candidates(
+        probes,
+        signature.sites_bucket,
+        cpu_count=cpu,
+        forkjoin_model=fj,
+    )
+    decision = decide(signature, candidates)
+    cache.put(decision)
+    return decision
+
+
+def resolve_auto_backend(
+    n_patterns: int,
+    n_states: int,
+    n_rates: int,
+    *,
+    prefer_name: bool = False,
+    cache: TuningCache | None = None,
+):
+    """Resolve ``backend="auto"`` to a concrete spec for one workload.
+
+    Call sites that ship backends across a fork boundary (worker pools)
+    pass ``prefer_name=True`` to always get a registry name; otherwise a
+    tuned block size yields a configured instance.
+    """
+    signature = WorkloadSignature.from_workload(n_patterns, n_states, n_rates)
+    cfg = autotune(signature, cache=cache).chosen
+    if prefer_name or cfg.block_sites is None:
+        return cfg.backend
+    return build_backend(cfg)

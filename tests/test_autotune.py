@@ -1,0 +1,352 @@
+"""Cost-model autotuner tests.
+
+The decision layer (``predict_seconds`` / ``enumerate_candidates`` /
+``decide``) is pure: pinned synthetic probe profiles must always yield
+the same decision, the chosen config is never predicted slower than the
+static default, and a table missing the default is rejected outright.
+
+The cache layer round-trips decisions through the JSON file named by
+``$REPRO_TUNE_CACHE``, invalidates on version mismatch, and a cache hit
+makes ``autotune`` skip probing entirely.
+
+End to end, ``make_engine(auto=True)`` must produce the same likelihood
+as an explicit reference engine — tuning changes speed, never numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.backends import BlockedBackend, make_engine
+from repro.parallel.openmp import OpenMPModel
+from repro.parallel.pthreads import ForkJoinModel
+from repro.perf import autotune as at
+from repro.perf.autotune import (
+    CACHE_VERSION,
+    DEFAULT_CONFIG,
+    TUNE_CACHE_ENV,
+    CandidateCost,
+    Decision,
+    ProbeResult,
+    TunedConfig,
+    TuningCache,
+    WorkloadSignature,
+    build_backend,
+    decide,
+    default_cache_path,
+    enumerate_candidates,
+    predict_seconds,
+)
+from repro.perf.costmodel import MeasuredKernelCost
+from repro.phylo import gtr, simulate_dataset
+
+
+def _cost(kernel: str, seconds: float, site_units: float) -> MeasuredKernelCost:
+    return MeasuredKernelCost(
+        kernel=kernel, calls=1, site_units=site_units, seconds=seconds,
+        bytes_moved=0,
+    )
+
+
+def _pinned_probes() -> dict[str, at.ProbeResult]:
+    """A deterministic probe table: compiled 8x faster than reference."""
+    def probe(label: str, backend: str, per_site: float,
+              block: int | None = None) -> ProbeResult:
+        sites = 4096.0
+        costs = {
+            k: _cost(k, per_site * sites, sites)
+            for k in ("newview", "evaluate", "derivative_sum",
+                      "derivative_core")
+        }
+        return ProbeResult(
+            config=TunedConfig(backend=backend, block_sites=block),
+            probe_sites=4096,
+            probe_units=1.0,
+            measured_s=per_site * sites * 3.0,
+            costs=costs,
+        )
+
+    return {
+        "reference": probe("reference", "reference", 8e-8),
+        "blocked": probe("blocked", "blocked", 6e-8),
+        "blocked block=2048": probe("blocked block=2048", "blocked",
+                                    5e-8, block=2048),
+        "compiled": probe("compiled", "compiled", 1e-8),
+    }
+
+
+class TestSignature:
+    def test_bucket_next_power_of_two(self):
+        assert WorkloadSignature.from_workload(1000, 4, 4).sites_bucket == 1024
+        assert WorkloadSignature.from_workload(1024, 4, 4).sites_bucket == 1024
+        assert WorkloadSignature.from_workload(1025, 4, 4).sites_bucket == 2048
+        assert WorkloadSignature.from_workload(0, 4, 4).sites_bucket == 1
+
+    def test_key_round_trip(self):
+        sig = WorkloadSignature.from_workload(100_000, 20, 4)
+        assert sig.key == "s131072_k20_r4"
+        assert WorkloadSignature.from_key(sig.key) == sig
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            WorkloadSignature.from_key("nonsense")
+
+
+class TestTunedConfig:
+    def test_dict_round_trip(self):
+        for cfg in (
+            DEFAULT_CONFIG,
+            TunedConfig("blocked", block_sites=2048),
+            TunedConfig("compiled", execution="threads", workers=4),
+        ):
+            assert TunedConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_labels(self):
+        assert DEFAULT_CONFIG.label == "reference"
+        assert TunedConfig("blocked", block_sites=4096).label == (
+            "blocked block=4096"
+        )
+        assert TunedConfig(
+            "compiled", execution="threads", workers=2
+        ).label == "compiled threadsx2"
+
+
+class TestPredictSeconds:
+    def test_untimed_kernels_skipped_not_free(self):
+        timed = {"newview": _cost("newview", 1e-4, 1000.0)}
+        with_untimed = dict(timed)
+        with_untimed["evaluate"] = _cost("evaluate", 0.0, 0.0)
+        assert with_untimed["evaluate"].seconds_per_site is None
+        assert predict_seconds(with_untimed, 1e6) == (
+            predict_seconds(timed, 1e6)
+        )
+
+    def test_scales_linearly_with_sites(self):
+        costs = {"newview": _cost("newview", 1e-4, 1000.0)}
+        assert predict_seconds(costs, 2e6) == pytest.approx(
+            2 * predict_seconds(costs, 1e6)
+        )
+
+    def test_workers_divide_compute_and_add_sync(self):
+        costs = {"newview": _cost("newview", 1e-4, 1000.0)}
+        serial = predict_seconds(costs, 1e6)
+        parallel = predict_seconds(
+            costs, 1e6, workers=4, region_overhead_s=1e-5
+        )
+        assert parallel == pytest.approx(
+            serial / 4 + at.REGIONS_PER_UNIT * 1e-5
+        )
+
+
+class TestDecide:
+    SIG = WorkloadSignature(8192, 4, 4)
+
+    def _candidates(self):
+        return enumerate_candidates(_pinned_probes(), self.SIG.sites_bucket)
+
+    def test_deterministic_and_never_slower_than_default(self):
+        first = decide(self.SIG, self._candidates())
+        second = decide(self.SIG, self._candidates())
+        assert first == second
+        assert first.chosen == TunedConfig("compiled")
+        assert first.predicted_s <= first.default_predicted_s
+        # table is ranked, default present
+        labels = [c.config.label for c in first.candidates]
+        assert labels[0] == "compiled"
+        assert "reference" in labels
+
+    def test_missing_default_raises(self):
+        table = [
+            c for c in self._candidates() if c.config != DEFAULT_CONFIG
+        ]
+        with pytest.raises(ValueError, match="missing the default"):
+            decide(self.SIG, table)
+
+    def test_empty_table_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            decide(self.SIG, [])
+
+    def test_tie_broken_by_label(self):
+        tied = [
+            CandidateCost(TunedConfig("reference"), 1.0),
+            CandidateCost(TunedConfig("blocked"), 1.0),
+        ]
+        assert decide(self.SIG, tied).chosen == TunedConfig("blocked")
+
+
+class TestEnumerateCandidates:
+    def test_single_cpu_yields_no_parallel_rows(self):
+        table = enumerate_candidates(
+            _pinned_probes(), 8192.0, cpu_count=1,
+            forkjoin_model=ForkJoinModel(
+                name="synthetic",
+                barrier=OpenMPModel("synthetic", 1e-5, 1e-6),
+            ),
+        )
+        assert all(c.config.workers == 1 for c in table)
+
+    def test_no_forkjoin_model_yields_no_parallel_rows(self):
+        table = enumerate_candidates(_pinned_probes(), 8192.0, cpu_count=8)
+        assert all(c.config.workers == 1 for c in table)
+
+    def test_forkjoin_rows_priced_with_region_overhead(self):
+        fj = ForkJoinModel(
+            name="synthetic", barrier=OpenMPModel("synthetic", 1e-5, 1e-6)
+        )
+        table = enumerate_candidates(
+            _pinned_probes(), 8192.0, cpu_count=4, forkjoin_model=fj
+        )
+        parallel = [c for c in table if c.config.workers > 1]
+        assert parallel
+        assert {c.config.workers for c in parallel} == {2, 4}
+        assert {c.config.execution for c in parallel} == {
+            "threads", "processes"
+        }
+        # parallel rows carry sync cost: worse than compute/workers alone
+        serial = {c.config.backend: c for c in table if c.config.workers == 1
+                  and c.config.block_sites is None}
+        for c in parallel:
+            if c.config.block_sites is not None:
+                continue
+            base = serial[c.config.backend].predicted_s
+            assert c.predicted_s > base / c.config.workers
+
+    def test_serial_rows_carry_probe_measurement(self):
+        table = enumerate_candidates(_pinned_probes(), 8192.0)
+        assert all(c.measured_probe_s is not None for c in table)
+
+
+class TestBuildBackend:
+    def test_block_sites_configures_blocked(self):
+        backend = build_backend(TunedConfig("blocked", block_sites=2048))
+        assert isinstance(backend, BlockedBackend)
+        assert backend.block_sites == 2048
+
+    def test_plain_name_resolves_registry(self):
+        assert build_backend(DEFAULT_CONFIG).name == "reference"
+
+
+class TestTuningCache:
+    def _decision(self, sig: WorkloadSignature) -> Decision:
+        return Decision(
+            signature=sig,
+            chosen=TunedConfig("compiled"),
+            predicted_s=0.01,
+            default_predicted_s=0.08,
+        )
+
+    def test_round_trip_via_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "tuning.json"
+        monkeypatch.setenv(TUNE_CACHE_ENV, str(path))
+        assert default_cache_path() == path
+        sig = WorkloadSignature(4096, 4, 4)
+        cache = TuningCache()
+        assert cache.get(sig) is None
+        cache.put(self._decision(sig))
+        got = TuningCache().get(sig)  # fresh instance: reads the file
+        assert got is not None
+        assert got.chosen == TunedConfig("compiled")
+        assert got.predicted_s == 0.01
+        raw = json.loads(path.read_text())
+        assert raw["version"] == CACHE_VERSION
+        assert sig.key in raw["entries"]
+
+    def test_version_mismatch_invalidates(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        sig = WorkloadSignature(4096, 4, 4)
+        cache = TuningCache(path)
+        cache.put(self._decision(sig))
+        data = json.loads(path.read_text())
+        data["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert TuningCache(path).get(sig) is None
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text("{not json")
+        assert TuningCache(path).get(WorkloadSignature(4096, 4, 4)) is None
+
+
+class TestAutotune:
+    def test_cache_hit_skips_probing(self, tmp_path, monkeypatch):
+        sig = WorkloadSignature(4096, 4, 4)
+        cache = TuningCache(tmp_path / "tuning.json")
+        cache.put(Decision(
+            signature=sig, chosen=TunedConfig("compiled"),
+            predicted_s=0.01, default_predicted_s=0.08,
+        ))
+
+        def boom(*a, **kw):  # probing must not happen on a hit
+            raise AssertionError("run_probes called despite cache hit")
+
+        monkeypatch.setattr(at, "run_probes", boom)
+        decision = at.autotune(sig, cache=cache)
+        assert decision.chosen == TunedConfig("compiled")
+        assert decision.candidates == ()  # hits carry no probe table
+
+    def test_probe_decision_persisted_and_stable(self, tmp_path):
+        sig = WorkloadSignature(2048, 4, 4)
+        cache = TuningCache(tmp_path / "tuning.json")
+        first = at.autotune(sig, cache=cache, rounds=1)
+        assert first.predicted_s <= first.default_predicted_s
+        hit = at.autotune(sig, cache=cache)
+        assert hit.chosen == first.chosen
+
+    def test_refresh_reprobes(self, tmp_path, monkeypatch):
+        sig = WorkloadSignature(2048, 4, 4)
+        cache = TuningCache(tmp_path / "tuning.json")
+        cache.put(Decision(
+            signature=sig, chosen=TunedConfig("reference"),
+            predicted_s=9.9, default_predicted_s=9.9,
+        ))
+        calls = {"n": 0}
+        real = at.run_probes
+
+        def counting(*a, **kw):
+            calls["n"] += 1
+            return real(*a, **kw)
+
+        monkeypatch.setattr(at, "run_probes", counting)
+        at.autotune(sig, cache=cache, refresh=True, rounds=1)
+        assert calls["n"] == 1
+
+
+class TestMakeEngineAuto:
+    """Tuning changes speed, never numbers."""
+
+    def test_auto_matches_reference_lnl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUNE_CACHE_ENV, str(tmp_path / "tuning.json"))
+        sim = simulate_dataset(n_taxa=8, n_sites=300, seed=11)
+        ref = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            backend="reference",
+        ).log_likelihood()
+        auto = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(), auto=True
+        ).log_likelihood()
+        assert auto == pytest.approx(ref, abs=1e-9)
+        # decision was cached under the workload's signature
+        entries = TuningCache().entries()
+        assert len(entries) == 1
+
+    def test_backend_auto_string_equivalent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUNE_CACHE_ENV, str(tmp_path / "tuning.json"))
+        sim = simulate_dataset(n_taxa=6, n_sites=200, seed=12)
+        via_string = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(), backend="auto"
+        ).log_likelihood()
+        ref = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            backend="reference",
+        ).log_likelihood()
+        assert via_string == pytest.approx(ref, abs=1e-9)
+
+    def test_auto_with_explicit_backend_rejected(self):
+        sim = simulate_dataset(n_taxa=4, n_sites=60, seed=13)
+        with pytest.raises(ValueError, match="auto=True picks the backend"):
+            make_engine(
+                sim.alignment.compress(), sim.tree.copy(), gtr(),
+                backend="blocked", auto=True,
+            )

@@ -1,0 +1,443 @@
+"""Compiled C backend tests.
+
+Codegen: the source template validates its shape parameters and the
+cache digest moves with everything that can change the object's bits.
+
+Parity: the compiled backend must match the reference kernels to 1e-10
+(scale counters exactly) on the kinds the shared registry parity suite
+in ``test_backends.py`` does not already cover — the preorder/gradient
+kinds and stacked ``newview_batch`` dispatch — and whole engines
+(GTR+Gamma, CAT, +I, memsave) must agree on real data.
+
+Shadow: ``ShadowBackend(primary=CompiledBackend())`` stays silent on the
+honest backend and catches a planted perturbation.
+
+Workers: ``ml_search`` and ``place_queries`` on ``compiled`` with
+``workers=2`` are bit-identical (delta == 0.0) to serial ``compiled``.
+
+Fallback: with a broken ``$CC`` the backend warns once and delegates to
+``blocked``, producing correct results with no compiler at all.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.backends import (
+    BackendMismatchError,
+    BlockedBackend,
+    ShadowBackend,
+    make_engine,
+)
+from repro.core.ckernels import (
+    CompiledBackend,
+    CompilerUnavailable,
+    probe_status,
+    render_source,
+    source_digest,
+)
+from repro.core.ckernels import backend as ck_backend
+from repro.core.ckernels import build as ck_build
+from repro.core.schedule import NewviewCall, dispatch_wave
+from repro.core.traversal import KernelKind
+from repro.phylo import CatRates, GammaRates, gtr, simulate_dataset
+
+N_STATES = 4
+N_CODES = 4
+ATOL = 1e-10
+
+HAVE_CC = probe_status().available
+
+
+def _random_inputs(seed: int, p: int, c: int, rescaled: bool = False) -> dict:
+    rng = np.random.default_rng(seed)
+    tiny = 1e-140 if rescaled else 1.0
+    return {
+        "u_inv": rng.normal(size=(N_STATES, N_STATES)),
+        "a1": rng.uniform(0.05, 1.0, size=(c, N_STATES, N_STATES)),
+        "a2": rng.uniform(0.05, 1.0, size=(c, N_STATES, N_STATES)),
+        "z1": rng.uniform(0.1, 1.0, size=(p, c, N_STATES)) * tiny,
+        "z2": rng.uniform(0.1, 1.0, size=(p, c, N_STATES)) * tiny,
+        "scale1": rng.integers(0, 3, size=p),
+        "scale2": rng.integers(0, 3, size=p),
+        "lookup1": rng.uniform(0.1, 1.0, size=(c, N_CODES, N_STATES)),
+        "lookup2": rng.uniform(0.1, 1.0, size=(c, N_CODES, N_STATES)),
+        "codes1": rng.integers(0, N_CODES, size=p),
+        "codes2": rng.integers(0, N_CODES, size=p),
+        "eigenvalues": np.concatenate(
+            [[0.0], -rng.uniform(0.1, 2.0, size=N_STATES - 1)]
+        ),
+        "rates": rng.uniform(0.2, 3.0, size=c),
+        "rate_weights": np.full(c, 1.0 / c),
+        "pattern_weights": rng.integers(1, 5, size=p).astype(float),
+    }
+
+
+shape_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=97),
+    st.sampled_from([1, 4]),
+    st.booleans(),
+)
+
+
+class TestCodegen:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            render_source(1, 4)
+        with pytest.raises(ValueError):
+            render_source(4, 0)
+
+    def test_source_parameterised_by_shape(self):
+        s44 = render_source(4, 4)
+        s41 = render_source(4, 1)
+        s204 = render_source(20, 4)
+        assert s44 != s41 != s204
+        assert "#define NS 20" in s204
+
+    def test_digest_covers_source_and_toolchain(self):
+        src = render_source(4, 4)
+        base = source_digest(src, "cc|-O3")
+        assert base != source_digest(render_source(4, 1), "cc|-O3")
+        assert base != source_digest(src, "cc|-O3|-march=native")
+        assert base == source_digest(src, "cc|-O3")
+
+
+class TestPreorderAndGradientParity:
+    """Kinds the shared registry parity suite does not cover."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shape_strategy)
+    def test_preorder_kinds(self, shape):
+        seed, p, c, rescaled = shape
+        d = _random_inputs(seed, p, c, rescaled)
+        backend = CompiledBackend()
+        for method, args in [
+            ("preorder_tip_tip",
+             (d["u_inv"], d["lookup1"], d["codes1"], d["lookup2"],
+              d["codes2"])),
+            ("preorder_tip_inner",
+             (d["u_inv"], d["lookup1"], d["codes1"], d["a2"], d["z2"],
+              d["scale2"])),
+            ("preorder_inner_inner",
+             (d["u_inv"], d["a1"], d["a2"], d["z1"], d["z2"],
+              d["scale1"], d["scale2"])),
+        ]:
+            ref_fn = getattr(kernels, method.replace("preorder", "newview"))
+            z_ref, s_ref = ref_fn(*args)
+            z, s = getattr(backend, method)(*args)
+            np.testing.assert_allclose(z, z_ref, rtol=0.0, atol=ATOL)
+            np.testing.assert_array_equal(s, s_ref)
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shape_strategy, t=st.floats(min_value=1e-6, max_value=2.0))
+    def test_derivative_site_terms(self, shape, t):
+        seed, p, c, _ = shape
+        d = _random_inputs(seed, p, c)
+        sumbuf = d["z1"] * d["z2"]
+        ref = kernels.derivative_site_terms(
+            sumbuf, d["eigenvalues"], d["rates"], d["rate_weights"], t
+        )
+        got = CompiledBackend().derivative_site_terms(
+            sumbuf, d["eigenvalues"], d["rates"], d["rate_weights"], t
+        )
+        for r, g in zip(ref, got):
+            np.testing.assert_allclose(g, r, rtol=1e-10, atol=ATOL)
+
+    @settings(max_examples=15, deadline=None)
+    @given(shape=shape_strategy, t=st.floats(min_value=1e-6, max_value=2.0))
+    def test_edge_gradient_fused(self, shape, t):
+        seed, p, c, _ = shape
+        d = _random_inputs(seed, p, c)
+        args = (
+            d["z1"], d["z2"], d["eigenvalues"], d["rates"],
+            d["rate_weights"], t,
+        )
+        backend = CompiledBackend()
+        terms_ref = kernels.edge_gradient_terms(*args)
+        terms = backend.edge_gradient_terms(*args)
+        for r, g in zip(terms_ref, terms):
+            np.testing.assert_allclose(g, r, rtol=1e-10, atol=ATOL)
+        grad_ref = kernels.edge_gradient(*args, d["pattern_weights"])
+        grad = backend.edge_gradient(*args, d["pattern_weights"])
+        for r, g in zip(grad_ref, grad):
+            assert g == pytest.approx(r, rel=1e-10, abs=ATOL)
+
+    @settings(max_examples=10, deadline=None)
+    @given(shape=shape_strategy)
+    def test_gradient_broadcast_tip_views(self, shape):
+        """Tip sides arrive as (p, 1, k) broadcast views in real engines."""
+        seed, p, _, _ = shape
+        d = _random_inputs(seed, p, 4)
+        z_tip = np.ascontiguousarray(d["z1"][:, :1, :])
+        args = (
+            z_tip, d["z2"], d["eigenvalues"], d["rates"],
+            d["rate_weights"], 0.3, d["pattern_weights"],
+        )
+        ref = kernels.edge_gradient(*args)
+        got = CompiledBackend().edge_gradient(*args)
+        for r, g in zip(ref, got):
+            assert g == pytest.approx(r, rel=1e-10, abs=ATOL)
+
+
+class TestNewviewBatch:
+    """Stacked wave dispatch matches per-op dispatch bit-for-bit."""
+
+    def _calls(self, seed: int, p: int) -> list:
+        d = _random_inputs(seed, p, 4)
+        calls = []
+        # several tip-tip ops sharing one (lut1, lut2) pair: with
+        # N_CODES=4 the 16-entry pair table engages when p >= 16
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(3):
+            calls.append(NewviewCall(
+                op=None, kind=KernelKind.NEWVIEW_TIP_TIP,
+                args=(d["u_inv"], d["lookup1"],
+                      rng.integers(0, N_CODES, size=p),
+                      d["lookup2"], rng.integers(0, N_CODES, size=p)),
+            ))
+        calls.append(NewviewCall(
+            op=None, kind=KernelKind.NEWVIEW_TIP_INNER,
+            args=(d["u_inv"], d["lookup1"], d["codes1"], d["a2"], d["z2"],
+                  d["scale2"]),
+        ))
+        calls.append(NewviewCall(
+            op=None, kind=KernelKind.NEWVIEW_INNER_INNER,
+            args=(d["u_inv"], d["a1"], d["a2"], d["z1"], d["z2"],
+                  d["scale1"], d["scale2"]),
+        ))
+        return calls
+
+    @pytest.mark.parametrize("p", [7, 64])
+    def test_batch_equals_per_op(self, p):
+        backend = CompiledBackend()
+        batched = dispatch_wave(backend, self._calls(3, p), batch=True)
+        per_op = dispatch_wave(backend, self._calls(3, p), batch=False)
+        assert len(batched) == len(per_op) == 5
+        for (zb, sb), (zo, so) in zip(batched, per_op):
+            np.testing.assert_array_equal(zb, zo)  # bitwise
+            np.testing.assert_array_equal(sb, so)
+
+    def test_batch_matches_reference(self):
+        compiled = dispatch_wave(CompiledBackend(), self._calls(9, 64))
+        reference = [
+            (kernels.newview_tip_tip(*c.args)
+             if c.kind is KernelKind.NEWVIEW_TIP_TIP
+             else kernels.newview_tip_inner(*c.args)
+             if c.kind is KernelKind.NEWVIEW_TIP_INNER
+             else kernels.newview_inner_inner(*c.args))
+            for c in self._calls(9, 64)
+        ]
+        for (z, s), (z_ref, s_ref) in zip(compiled, reference):
+            np.testing.assert_allclose(z, z_ref, rtol=0.0, atol=ATOL)
+            np.testing.assert_array_equal(s, s_ref)
+
+
+class TestEngineParity:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return simulate_dataset(n_taxa=10, n_sites=400, seed=42)
+
+    def _lnl(self, sim, backend, **kw):
+        return make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            backend=backend, **kw,
+        ).log_likelihood()
+
+    def test_gamma(self, sim):
+        ref = self._lnl(sim, "reference", rates=GammaRates(0.7))
+        got = self._lnl(sim, "compiled", rates=GammaRates(0.7))
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_cat(self, sim):
+        patterns = sim.alignment.compress()
+        cat = CatRates.from_gamma(
+            0.7, patterns.n_patterns, 4, np.random.default_rng(0),
+            weights=patterns.weights,
+        )
+        ref = self._lnl(sim, "reference", cat=cat)
+        got = self._lnl(sim, "compiled", cat=cat)
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_invariant(self, sim):
+        ref = self._lnl(sim, "reference", rates=GammaRates(0.7), p_inv=0.1)
+        got = self._lnl(sim, "compiled", rates=GammaRates(0.7), p_inv=0.1)
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_memsave(self, sim):
+        ref = self._lnl(sim, "reference", rates=GammaRates(0.7))
+        got = self._lnl(sim, "compiled", rates=GammaRates(0.7),
+                        max_resident=4)
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_gradients_all_branches(self, sim):
+        def grads(backend):
+            eng = make_engine(
+                sim.alignment.compress(), sim.tree.copy(), gtr(),
+                GammaRates(0.7), backend=backend,
+            )
+            return eng.all_branch_gradients()
+
+        ref = grads("reference")
+        got = grads("compiled")
+        assert set(ref) == set(got)
+        for eid in ref:
+            np.testing.assert_allclose(
+                np.array(got[eid]), np.array(ref[eid]),
+                rtol=1e-9, atol=1e-9,
+            )
+
+
+class _PerturbedCompiled(CompiledBackend):
+    name = "perturbed-compiled"
+    description = "compiled with a 1e-6 error injected into newview"
+
+    def newview_inner_inner(self, u_inv, a1, a2, z1, z2, scale1, scale2):
+        z, s = super().newview_inner_inner(
+            u_inv, a1, a2, z1, z2, scale1, scale2
+        )
+        return z + 1e-6, s
+
+
+class TestShadowCompiled:
+    def test_silent_on_honest_compiled(self):
+        sim = simulate_dataset(n_taxa=8, n_sites=300, seed=5)
+        shadow = ShadowBackend(primary=CompiledBackend())
+        lnl = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            GammaRates(alpha=0.9), backend=shadow,
+        ).log_likelihood()
+        ref = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            GammaRates(alpha=0.9), backend="reference",
+        ).log_likelihood()
+        assert lnl == pytest.approx(ref, abs=1e-9)
+        assert shadow.checks > 0
+
+    def test_catches_planted_perturbation(self):
+        sim = simulate_dataset(n_taxa=8, n_sites=300, seed=5)
+        shadow = ShadowBackend(primary=_PerturbedCompiled())
+        with pytest.raises(BackendMismatchError, match="newview"):
+            make_engine(
+                sim.alignment.compress(), sim.tree.copy(), gtr(),
+                GammaRates(alpha=0.9), backend=shadow,
+            ).log_likelihood()
+
+
+class TestWorkersBitParity:
+    """compiled + workers=2 must equal serial compiled exactly."""
+
+    def test_ml_search_workers_delta_zero(self):
+        from repro.search import SearchConfig, ml_search
+
+        sim = simulate_dataset(n_taxa=8, n_sites=250, seed=13)
+        config = SearchConfig(radii=(3,), max_spr_rounds=1, seed=0)
+        serial = ml_search(
+            sim.alignment, config=config, backend="compiled"
+        )
+        parallel = ml_search(
+            sim.alignment, config=config, backend="compiled",
+            workers=2, execution="threads",
+        )
+        assert parallel.lnl - serial.lnl == 0.0
+        assert parallel.tree.to_newick() == serial.tree.to_newick()
+
+    def test_place_queries_workers_delta_zero(self):
+        from repro.search.epa import place_queries
+
+        sim = simulate_dataset(n_taxa=8, n_sites=220, seed=23)
+        aln = sim.alignment
+        seq = aln.sequence(aln.taxa[0])
+        queries = {"q0": seq, "q1": seq[::-1]}
+        serial = place_queries(
+            aln, sim.tree, queries, gtr(), GammaRates(1.0, 4),
+            backend="compiled",
+        )
+        parallel = place_queries(
+            aln, sim.tree, queries, gtr(), GammaRates(1.0, 4),
+            backend="compiled", workers=2, execution="threads",
+        )
+        for rs, rp in zip(serial, parallel):
+            assert rs.query == rp.query
+            assert rs.placements == rp.placements  # frozen floats: bitwise
+
+
+class TestFallback:
+    def test_broken_cc_falls_back_to_blocked(self, monkeypatch):
+        monkeypatch.setenv("CC", "/nonexistent-compiler")
+        monkeypatch.setattr(ck_build, "_spec_cache", None)
+        monkeypatch.setattr(ck_backend, "_warned_fallback", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = CompiledBackend()
+        assert backend.fallback_reason is not None
+        assert "/nonexistent-compiler" in backend.fallback_reason
+        assert isinstance(backend._delegate, BlockedBackend)
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "falling back" in str(w.message)
+            for w in caught
+        )
+        # the fallback still computes correct numbers
+        sim = simulate_dataset(n_taxa=6, n_sites=150, seed=3)
+        got = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            GammaRates(0.8), backend=backend,
+        ).log_likelihood()
+        ref = make_engine(
+            sim.alignment.compress(), sim.tree.copy(), gtr(),
+            GammaRates(0.8), backend="reference",
+        ).log_likelihood()
+        assert got == pytest.approx(ref, abs=1e-9)
+
+    def test_find_compiler_error_mentions_cc(self, monkeypatch):
+        monkeypatch.setenv("CC", "/nonexistent-compiler")
+        with pytest.raises(CompilerUnavailable, match="nonexistent-compiler"):
+            ck_build.find_compiler()
+
+    def test_probe_status_never_raises(self, monkeypatch):
+        monkeypatch.setenv("CC", "/nonexistent-compiler")
+        monkeypatch.setattr(ck_build, "_spec_cache", None)
+        status = probe_status()
+        assert status.available is False
+        assert status.reason and "nonexistent-compiler" in status.reason
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain in this environment")
+class TestBuildCache:
+    def test_object_reused_across_loads(self, tmp_path):
+        ck_build.load_kernels(4, 2, cache_dir=tmp_path)
+        objects = list(tmp_path.glob("plf_4s_2r_*.so"))
+        assert len(objects) == 1
+        mtime = objects[0].stat().st_mtime_ns
+        ck_build.load_kernels(4, 2, cache_dir=tmp_path)
+        assert objects[0].stat().st_mtime_ns == mtime  # cache hit, no rebuild
+        assert not list(tmp_path.glob("*.tmp"))  # temp names cleaned up
+
+    def test_cache_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ck_build.CACHE_ENV, str(tmp_path / "objcache"))
+        assert ck_build.default_cache_dir() == tmp_path / "objcache"
+        status = probe_status()
+        assert status.cache_dir == str(tmp_path / "objcache")
+
+    def test_compiled_not_falling_back_here(self):
+        """With a toolchain present the backend must actually compile."""
+        backend = CompiledBackend()
+        assert backend.fallback_reason is None
+        d = _random_inputs(0, 31, 4)
+        z, s = backend.newview_inner_inner(
+            d["u_inv"], d["a1"], d["a2"], d["z1"], d["z2"],
+            d["scale1"], d["scale2"],
+        )
+        z_ref, s_ref = kernels.newview_inner_inner(
+            d["u_inv"], d["a1"], d["a2"], d["z1"], d["z2"],
+            d["scale1"], d["scale2"],
+        )
+        np.testing.assert_allclose(z, z_ref, rtol=0.0, atol=ATOL)
+        np.testing.assert_array_equal(s, s_ref)
